@@ -1,0 +1,21 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper artifact: it runs the experiment
+under ``pytest-benchmark`` timing, prints the same rows/series the
+paper reports (run with ``-s`` to see them), and asserts the paper's
+shape claims so a silent regression cannot slip through.
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> str:
+    rule = "=" * max(10, len(title))
+    return f"\n{rule}\n{title}\n{rule}"
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the timer."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,91 @@
+"""Substrate performance: how fast the simulator itself runs.
+
+Not a paper artifact -- a performance baseline for the library, so
+regressions in the event loop, the scheduler or the measurement engine
+show up in benchmark history.  pytest-benchmark runs these hot paths
+repeatedly for real statistics.
+"""
+
+import pytest
+
+from repro.ra.measurement import MeasurementConfig, MeasurementProcess
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.process import CPU, Compute, Sleep
+from repro.sim.task import PeriodicTask
+
+
+def test_event_queue_throughput(benchmark):
+    """Schedule-and-drain 10k bare events."""
+
+    def run():
+        sim = Simulator()
+        counter = [0]
+
+        def bump():
+            counter[0] += 1
+
+        for index in range(10_000):
+            sim.schedule(index * 1e-4, bump)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_scheduler_throughput(benchmark):
+    """A preemption-heavy task set: 5 tasks x 200 jobs each."""
+
+    def run():
+        sim = Simulator()
+        cpu = CPU(sim)
+        tasks = []
+        device = Device(sim, block_count=4, block_size=16)
+        for priority in range(1, 6):
+            tasks.append(
+                PeriodicTask(
+                    device.cpu, f"t{priority}", period=0.01,
+                    wcet=0.001, priority=priority, max_jobs=200,
+                )
+            )
+        sim.run()
+        return sum(task.stats().jobs_finished for task in tasks)
+
+    assert benchmark(run) == 1000
+
+
+def test_measurement_throughput(benchmark):
+    """Full measurements (HMAC over 64 blocks) back to back."""
+
+    def run():
+        device = Device(Simulator(), block_count=64, block_size=64)
+        config = MeasurementConfig()
+        mp = MeasurementProcess(device, config, nonce=b"bench")
+        device.cpu.spawn("mp", mp.run, priority=50)
+        device.sim.run(until=1000)
+        return mp.record is not None
+
+    assert benchmark(run)
+
+
+def test_full_protocol_throughput(benchmark):
+    """One complete on-demand attestation round trip."""
+    from repro.ra.service import OnDemandVerifier
+    from repro.ra.smart import SmartAttestation
+    from repro.ra.verifier import Verifier
+    from repro.sim.network import Channel
+
+    def run():
+        sim = Simulator()
+        device = Device(sim, block_count=32, block_size=32)
+        channel = Channel(sim, latency=0.002)
+        device.attach_network(channel)
+        verifier = Verifier(sim)
+        verifier.register_from_device(device)
+        SmartAttestation(device).install()
+        driver = OnDemandVerifier(verifier, channel)
+        exchange = driver.request(device.name)
+        sim.run(until=60)
+        return exchange.result.healthy
+
+    assert benchmark(run)

@@ -1,0 +1,74 @@
+"""FIG2 -- hash and signature timings (Figure 2).
+
+Two halves:
+
+* the *model* series -- the ten Figure 2 curves from the calibrated
+  ODROID-XU4 cost model, with the paper's anchor numbers and the
+  hash-vs-signature crossover asserted;
+* *functional* micro-benchmarks -- the actual from-scratch HMAC, RSA
+  and ECDSA implementations timed on this host with pytest-benchmark,
+  demonstrating the same qualitative ordering (hashing linear in size,
+  signatures flat, RSA sign growing steeply with key size).
+"""
+
+import pytest
+
+from benchmarks.conftest import banner, once
+from repro.crypto.ecdsa import ecdsa_generate, ecdsa_sign, ecdsa_verify
+from repro.crypto.hmac import hmac_digest
+from repro.crypto.rsa import rsa_generate, rsa_sign
+from repro.experiments import fig2_report
+from repro.units import GiB, MiB
+
+
+def test_fig2_model_series(benchmark):
+    result = once(benchmark, fig2_report, points_per_decade=1)
+    print(banner("Figure 2: MP timings on the ODROID-XU4 model"))
+    print(result.render())
+
+    assert all(anchor.holds for anchor in result.anchors)
+    # The crossover claim: above ~1 MB, most signatures are noise.
+    sha_crossovers = [
+        size
+        for (hash_name, signature), size in result.crossovers.items()
+        if hash_name == "sha256"
+    ]
+    assert sum(1 for size in sha_crossovers if size < 4 * MiB) >= 4
+    # 2 GiB hashing in the 10-20 s band for every hash ("nearly 14 sec").
+    for name in ("sha256", "sha512", "blake2b", "blake2s"):
+        final = dict(result.series[name])[2 * GiB]
+        assert 10.0 < final < 35.0
+
+
+class TestFunctionalCrypto:
+    """Real primitives, real bytes, host-machine time."""
+
+    def test_hmac_sha256_1mib(self, benchmark):
+        data = b"\xA5" * MiB
+        digest = benchmark(hmac_digest, b"key", data, "sha256")
+        assert len(digest) == 32
+
+    def test_hmac_blake2s_1mib(self, benchmark):
+        data = b"\xA5" * MiB
+        digest = benchmark(hmac_digest, b"key", data, "blake2s")
+        assert len(digest) == 32
+
+    def test_rsa1024_sign(self, benchmark):
+        key = rsa_generate(1024, seed=b"bench-1024")
+        signature = benchmark(rsa_sign, key.private, b"report digest")
+        assert len(signature) == 128
+
+    def test_rsa2048_sign(self, benchmark):
+        key = rsa_generate(2048, seed=b"bench-2048")
+        signature = benchmark(rsa_sign, key.private, b"report digest")
+        assert len(signature) == 256
+
+    def test_ecdsa256_sign(self, benchmark):
+        key = ecdsa_generate("secp256r1", seed=b"bench")
+        signature = benchmark(ecdsa_sign, key, b"report digest")
+        assert ecdsa_verify(key, b"report digest", signature)
+
+    def test_ecdsa160_sign(self, benchmark):
+        key = ecdsa_generate("secp160r1", seed=b"bench")
+        signature = benchmark(ecdsa_sign, key, b"report digest")
+        assert ecdsa_verify(key, b"report digest", signature)

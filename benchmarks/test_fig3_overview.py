@@ -1,0 +1,28 @@
+"""FIG3 -- the solution landscape overview (Figure 3).
+
+Structural artifact: the taxonomy tree plus the transcription of
+Table 1, checked for completeness against the mechanisms the library
+actually implements.
+"""
+
+from benchmarks.conftest import banner, once
+from repro.core.solution import SOLUTIONS
+from repro.core.tradeoff import standard_mechanisms
+from repro.experiments import fig3_overview
+
+
+def test_fig3_overview(benchmark):
+    result = once(benchmark, fig3_overview)
+    print(banner("Figure 3: overview of potential solutions"))
+    print(result.render())
+
+    # Every taxonomy leaf family is implemented and evaluable.
+    for token in ("All-Lock", "Dec-Lock", "Inc-Lock", "SMARM",
+                  "ERASMUS", "SeED", "TyTAN"):
+        assert token in result.tree
+    # Every Table 1 row with a mechanism key is runnable by the
+    # evaluation harness.
+    runnable = set(standard_mechanisms())
+    for solution in SOLUTIONS:
+        if solution.mechanism_key:
+            assert solution.mechanism_key in runnable

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Full incident response: detect, wipe, reflash, re-attest.
+
+Section 1: "If Vrf detects malware presence, Prv's software can be
+re-set or rolled back ... RA can also be used to construct other
+security services, such as software updates [25] and secure deletion
+[21]."  This script runs that whole loop:
+
+1. routine attestation finds the device healthy;
+2. malware lands; the next attestation says COMPROMISED;
+3. the verifier orders a *proof of secure erasure* -- all memory is
+   overwritten with a verifier-chosen stream, destroying the malware,
+   and the device proves it;
+4. the verifier then pushes fresh firmware via *secure update*, whose
+   attestation receipt doubles as the installation proof;
+5. a final routine attestation confirms the device is healthy again.
+
+Run:  python examples/incident_response.py
+"""
+
+from repro.malware import TransientMalware
+from repro.ra import SmartAttestation, UpdateCoordinator, UpdateService, Verifier
+from repro.ra.service import OnDemandVerifier
+from repro.sim import Channel, Device, Simulator
+
+
+def attest(sim, driver, device_name, at):
+    exchanges = []
+    sim.schedule_at(
+        at, lambda: exchanges.append(driver.request(device_name))
+    )
+    return exchanges
+
+
+def main() -> None:
+    sim = Simulator()
+    device = Device(sim, name="plc-7", block_count=24, block_size=32)
+    device.standard_layout()
+    channel = Channel(sim, latency=0.005)
+    device.attach_network(channel)
+
+    verifier = Verifier(sim)
+    verifier.register_from_device(device)
+    SmartAttestation(device).install()
+    UpdateService(device).install()
+
+    driver = OnDemandVerifier(verifier, channel, endpoint_name="vrf-od")
+    coordinator = UpdateCoordinator(verifier, channel)
+
+    # 1. routine check -----------------------------------------------------
+    first = attest(sim, driver, device.name, at=1.0)
+
+    # 2. infection + detection ------------------------------------------------
+    malware = TransientMalware(device, target_block=4, infect_at=5.0,
+                               name="implant")
+    second = attest(sim, driver, device.name, at=10.0)
+
+    # 3. secure erasure (scheduled after the bad verdict) -----------------------
+    erasure_holder = []
+    sim.schedule_at(
+        15.0,
+        lambda: erasure_holder.append(
+            coordinator.push_erasure(device.name, seed=b"wipe-2026")
+        ),
+    )
+
+    # 4. reflash with fresh firmware ---------------------------------------------
+    firmware = {
+        index: bytes([0xC0 | index]) * device.memory.block_size
+        for index in range(device.block_count)
+    }
+    update_holder = []
+    sim.schedule_at(
+        25.0,
+        lambda: update_holder.append(
+            coordinator.push_update(device.name, firmware)
+        ),
+    )
+
+    # 5. final routine check ----------------------------------------------------
+    final = attest(sim, driver, device.name, at=35.0)
+
+    sim.run(until=60.0)
+
+    erasure = erasure_holder[0]
+    update = update_holder[0]
+    print("incident response timeline for plc-7")
+    print(f"  t= 1.0  routine attestation : "
+          f"{first[0].result.verdict.value}")
+    print(f"  t= 5.0  malware lands in block 4")
+    print(f"  t=10.0  routine attestation : "
+          f"{second[0].result.verdict.value}")
+    print(f"  t=15.0  proof of secure erasure: "
+          f"{'OK' if erasure.installed else 'FAILED'} "
+          f"(confirmed t={erasure.confirmed_at:.2f})")
+    print(f"          malware payload destroyed: "
+          f"{device.memory.read_block(4) != malware.payload}")
+    print(f"  t=25.0  secure update (full reflash): "
+          f"{'OK' if update.installed else 'FAILED'} "
+          f"(confirmed t={update.confirmed_at:.2f})")
+    print(f"  t=35.0  routine attestation : "
+          f"{final[0].result.verdict.value}")
+
+    assert first[0].result.healthy
+    assert not second[0].result.healthy
+    assert erasure.installed
+    assert update.installed
+    assert final[0].result.healthy
+    print("\ndevice recovered and re-trusted, end to end.")
+
+
+if __name__ == "__main__":
+    main()

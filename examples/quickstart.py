@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: one on-demand attestation, start to finish.
+
+Builds the smallest complete rig -- a simulated prover device, a
+network channel, a verifier -- runs one SMART-style (atomic)
+attestation while the device is clean, infects the device, runs a
+second one, and prints both verdicts with their timelines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.malware import TransientMalware
+from repro.ra import SmartAttestation, Verifier
+from repro.ra.service import OnDemandVerifier
+from repro.sim import Channel, Device, Simulator
+from repro.units import MiB
+
+
+def main() -> None:
+    # --- build the world -------------------------------------------------
+    sim = Simulator()
+
+    # A prover with 64 blocks of attested memory.  Each real block
+    # stands in for 1 MiB of simulated memory, so measurement latency
+    # is realistic (64 MiB at ODROID-XU4 hashing speed).
+    device = Device(
+        sim,
+        name="sensor-node",
+        block_count=64,
+        block_size=32,
+        sim_block_size=MiB,
+    )
+    device.standard_layout()  # immutable code + mutable data regions
+
+    channel = Channel(sim, latency=0.005)  # 5 ms network
+    device.attach_network(channel)
+
+    verifier = Verifier(sim)
+    verifier.register_from_device(device)  # Vrf learns the golden image
+    driver = OnDemandVerifier(verifier, channel)
+
+    # Install SMART: atomic, sequential, uninterruptible measurement.
+    SmartAttestation(device, algorithm="blake2s").install()
+
+    # --- attestation #1: clean device -------------------------------------
+    first = driver.request(device.name)
+    sim.run(until=30.0)
+    print("attestation #1 (clean device)")
+    print(f"  verdict    : {first.result.verdict.value}")
+    record = first.report.records[0]
+    print(f"  MP window  : t_s={record.t_start:.3f}s "
+          f"t_e={record.t_end:.3f}s "
+          f"(duration {record.duration:.3f}s)")
+    print(f"  round trip : {first.round_trip:.3f}s")
+
+    # --- infect, then attestation #2 ---------------------------------------
+    # Malware lands in block 10 (inside the code region) at t=35.
+    TransientMalware(device, target_block=10, infect_at=35.0)
+    sim.run(until=40.0)
+
+    second = driver.request(device.name)
+    sim.run(until=70.0)
+    print("\nattestation #2 (after infection)")
+    print(f"  verdict    : {second.result.verdict.value}")
+    print(f"  detail     : {second.result.detail}")
+
+    assert first.result.healthy
+    assert not second.result.healthy
+    print("\nquickstart OK: clean device passed, infected device caught")
+
+
+if __name__ == "__main__":
+    main()

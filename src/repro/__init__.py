@@ -1,0 +1,89 @@
+"""repro: a simulation-based reproduction of
+*"Reconciling Remote Attestation and Safety-Critical Operation on
+Simple IoT Devices"* (Carpent, Eldefrawy, Rattanavipanon, Sadeghi,
+Tsudik -- DAC 2018).
+
+The package builds the whole stack the paper assumes:
+
+* :mod:`repro.sim` -- a discrete-event simulator of a simple prover
+  device (CPU with priority preemption and interrupt masking,
+  block-structured memory, per-block MPU, secure timer, network);
+* :mod:`repro.crypto` -- functional hashes/HMAC/RSA/ECDSA plus a
+  timing model calibrated to the paper's ODROID-XU4 measurements;
+* :mod:`repro.ra` -- every attestation mechanism in the solution
+  landscape: SMART (atomic baseline), the memory-locking family,
+  SMARM (shuffled), ERASMUS (self-measurement), SeED (non-interactive)
+  and TyTAN (per-process);
+* :mod:`repro.malware` -- transient, self-relocating and colluding
+  adversaries that actively evade measurement;
+* :mod:`repro.apps` -- the fire-alarm safety-critical workload;
+* :mod:`repro.core` -- the reconciliation layer: Table 1 as data and
+  as an empirical harness, consistency semantics, QoA;
+* :mod:`repro.analysis` -- the closed forms simulations are checked
+  against;
+* :mod:`repro.swarm` -- collective attestation (extension);
+* :mod:`repro.experiments` -- one driver per paper figure/table.
+
+Quickstart::
+
+    from repro.sim import Simulator, Device, Channel
+    from repro.ra import SmartAttestation, Verifier
+    from repro.ra.service import OnDemandVerifier
+
+    sim = Simulator()
+    device = Device(sim, block_count=64, block_size=32)
+    channel = Channel(sim)
+    device.attach_network(channel)
+    verifier = Verifier(sim)
+    verifier.register_from_device(device)
+    SmartAttestation(device).install()
+    exchange = OnDemandVerifier(verifier, channel).request(device.name)
+    sim.run(until=60)
+    print(exchange.result)          # healthy
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+from repro.sim import Simulator, Device, Channel
+from repro.ra import (
+    SmartAttestation,
+    SmarmAttestation,
+    ErasmusService,
+    SeedService,
+    TytanAttestation,
+    Verifier,
+    MeasurementConfig,
+    MeasurementProcess,
+)
+from repro.malware import (
+    TransientMalware,
+    SelfRelocatingMalware,
+    ColludingMalware,
+)
+from repro.apps import FireAlarmApp
+from repro.core import evaluate_all, QoAParameters
+from repro.crypto import OdroidXU4Model
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Simulator",
+    "Device",
+    "Channel",
+    "SmartAttestation",
+    "SmarmAttestation",
+    "ErasmusService",
+    "SeedService",
+    "TytanAttestation",
+    "Verifier",
+    "MeasurementConfig",
+    "MeasurementProcess",
+    "TransientMalware",
+    "SelfRelocatingMalware",
+    "ColludingMalware",
+    "FireAlarmApp",
+    "evaluate_all",
+    "QoAParameters",
+    "OdroidXU4Model",
+]

@@ -1,0 +1,46 @@
+"""Closed-form models the simulations are checked against.
+
+* :mod:`repro.analysis.smarm_math` -- SMARM escape probabilities;
+* :mod:`repro.analysis.qoa_math` -- transient-malware detection vs
+  (T_M, dwell) and detection-latency distributions;
+* :mod:`repro.analysis.locking_math` -- expected write-block delays
+  under each locking policy;
+* :mod:`repro.analysis.fig2_model` -- Figure 2 curve properties
+  (crossovers, anchor points, log-log slopes).
+"""
+
+from repro.analysis.smarm_math import (
+    single_round_escape,
+    single_round_escape_limit,
+    rounds_for_confidence,
+    multi_round_escape,
+)
+from repro.analysis.qoa_math import (
+    detection_probability,
+    expected_detection_latency,
+    worst_detection_latency,
+)
+from repro.analysis.locking_math import (
+    expected_block_delay,
+    lock_exposure,
+)
+from repro.analysis.fig2_model import (
+    crossover_table,
+    anchor_report,
+    sweep_series,
+)
+
+__all__ = [
+    "single_round_escape",
+    "single_round_escape_limit",
+    "rounds_for_confidence",
+    "multi_round_escape",
+    "detection_probability",
+    "expected_detection_latency",
+    "worst_detection_latency",
+    "expected_block_delay",
+    "lock_exposure",
+    "crossover_table",
+    "anchor_report",
+    "sweep_series",
+]

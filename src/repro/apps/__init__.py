@@ -1,0 +1,28 @@
+"""Safety-critical application models.
+
+* :mod:`repro.apps.firealarm` -- the Section 2.5 scenario: a bare-metal
+  sensor/actuator fire alarm whose reaction latency is destroyed by
+  atomic attestation;
+* :mod:`repro.apps.workloads` -- generic periodic control workloads
+  (compute-only and memory-writing tasks) used by the locking
+  availability benchmarks;
+* :mod:`repro.apps.metrics` -- availability metric aggregation.
+"""
+
+from repro.apps.firealarm import FireAlarmApp, FireAlarmOutcome
+from repro.apps.workloads import (
+    make_compute_task,
+    make_writer_task,
+    WriterWorkload,
+)
+from repro.apps.metrics import AvailabilityReport, summarize_tasks
+
+__all__ = [
+    "FireAlarmApp",
+    "FireAlarmOutcome",
+    "make_compute_task",
+    "make_writer_task",
+    "WriterWorkload",
+    "AvailabilityReport",
+    "summarize_tasks",
+]

@@ -1,0 +1,73 @@
+"""Availability metric aggregation.
+
+Turns per-task statistics and MPU accounting into the quantities the
+Table 1 columns summarize qualitatively: worst-case task response,
+deadline-miss rate, blocked-write counts and lock hold times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.sim.device import Device
+from repro.sim.task import PeriodicTask, TaskStats
+
+
+@dataclass
+class AvailabilityReport:
+    """Aggregate availability damage over an experiment run."""
+
+    elapsed: float
+    jobs_released: int = 0
+    jobs_finished: int = 0
+    deadline_misses: int = 0
+    worst_response: float = 0.0
+    mean_response: float = 0.0
+    write_faults: int = 0
+    locked_block_seconds: float = 0.0
+    lock_ops: int = 0
+    cpu_idle_fraction: float = 0.0
+    per_task: Dict[str, TaskStats] = field(default_factory=dict)
+
+    @property
+    def miss_rate(self) -> float:
+        if self.jobs_released == 0:
+            return 0.0
+        return self.deadline_misses / self.jobs_released
+
+    def summary_line(self) -> str:
+        return (
+            f"jobs={self.jobs_finished}/{self.jobs_released} "
+            f"misses={self.deadline_misses} ({self.miss_rate:.1%}) "
+            f"worst_resp={self.worst_response * 1e3:.2f}ms "
+            f"write_faults={self.write_faults} "
+            f"locked={self.locked_block_seconds:.3f} block-s"
+        )
+
+
+def summarize_tasks(
+    device: Device,
+    tasks: Iterable[PeriodicTask],
+    elapsed: Optional[float] = None,
+) -> AvailabilityReport:
+    """Aggregate ``tasks`` plus the device's MPU accounting."""
+    elapsed = device.sim.now if elapsed is None else elapsed
+    report = AvailabilityReport(elapsed=elapsed)
+    total_response = 0.0
+    for task in tasks:
+        stats = task.stats()
+        report.per_task[task.name] = stats
+        report.jobs_released += stats.jobs_released
+        report.jobs_finished += stats.jobs_finished
+        report.deadline_misses += stats.deadline_misses
+        report.write_faults += stats.write_faults
+        total_response += stats.total_response
+        if stats.worst_response > report.worst_response:
+            report.worst_response = stats.worst_response
+    if report.jobs_finished:
+        report.mean_response = total_response / report.jobs_finished
+    report.locked_block_seconds = device.mpu.total_locked_time()
+    report.lock_ops = device.mpu.lock_ops + device.mpu.unlock_ops
+    report.cpu_idle_fraction = device.cpu.idle_fraction(elapsed)
+    return report

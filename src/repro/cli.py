@@ -1,0 +1,221 @@
+"""Command-line experiment driver: ``python -m repro <experiment>``.
+
+Each subcommand regenerates one paper artifact on stdout::
+
+    repro fig1            # on-demand RA timeline (Figure 1)
+    repro fig2            # hash/signature timing curves (Figure 2)
+    repro fig3            # solution taxonomy (Figure 3)
+    repro fig4            # consistency vs locking policy (Figure 4)
+    repro fig5            # QoA timeline (Figure 5)
+    repro table1          # the feature matrix, empirical vs claimed
+    repro firealarm       # the Section 2.5 scenario
+    repro smarm           # SMARM escape probabilities (Section 3.2)
+    repro all             # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.units import parse_size
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Reconciling Remote Attestation and "
+            "Safety-Critical Operation on Simple IoT Devices' (DAC'18)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser("fig1", help="on-demand RA timeline")
+    fig1.add_argument("--memory", default="64MiB",
+                      help="attested memory size (default 64MiB)")
+    fig1.add_argument("--deferral", type=float, default=0.05,
+                      help="request deferral on the prover, seconds")
+
+    fig2 = sub.add_parser("fig2", help="hash/signature timing curves")
+    fig2.add_argument("--points", type=int, default=1,
+                      help="points per decade in the size sweep")
+
+    sub.add_parser("fig3", help="solution taxonomy and Table 1 text")
+
+    sub.add_parser("fig4", help="consistency timeline per locking policy")
+
+    fig5 = sub.add_parser("fig5", help="QoA timeline (self-measurement)")
+    fig5.add_argument("--tm", type=float, default=4.0, help="T_M seconds")
+    fig5.add_argument("--tc", type=float, default=16.0, help="T_C seconds")
+
+    sub.add_parser("table1", help="empirical feature matrix vs claims")
+
+    fire = sub.add_parser("firealarm", help="Section 2.5 fire alarm")
+    fire.add_argument("--memory", default="1GiB",
+                      help="attested memory size (default 1GiB)")
+
+    smarm = sub.add_parser("smarm", help="SMARM escape probabilities")
+    smarm.add_argument("--blocks", type=int, default=64)
+    smarm.add_argument("--trials", type=int, default=4000)
+
+    swarm = sub.add_parser("swarm", help="collective attestation demo")
+    swarm.add_argument("--count", type=int, default=15,
+                       help="number of devices")
+    swarm.add_argument("--shape", default="tree",
+                       choices=["tree", "star", "line", "random"])
+    swarm.add_argument("--infect", type=int, nargs="*", default=[4, 9],
+                       help="node indices to infect")
+
+    swatt = sub.add_parser(
+        "swatt", help="software-based RA timing game (legacy devices)"
+    )
+    swatt.add_argument("--penalty", type=float, default=2e-3,
+                       help="redirection penalty per read, seconds")
+    swatt.add_argument("--speedup", type=float, default=0.5,
+                       help="the optimized adversary's speed factor")
+
+    sub.add_parser("all", help="run every experiment")
+    return parser
+
+
+def _run(command: str, args: argparse.Namespace) -> str:
+    # Imports are deferred so `repro --help` stays fast.
+    import repro.experiments as experiments
+
+    if command == "fig1":
+        memory = parse_size(args.memory)
+        from repro.units import MiB
+
+        return experiments.fig1_timeline(
+            memory_mib=max(1, memory // MiB), deferral=args.deferral
+        ).render()
+    if command == "fig2":
+        return experiments.fig2_report(points_per_decade=args.points).render()
+    if command == "fig3":
+        return experiments.fig3_overview().render()
+    if command == "fig4":
+        return experiments.fig4_consistency().render()
+    if command == "fig5":
+        return experiments.fig5_qoa(t_m=args.tm, t_c=args.tc).render()
+    if command == "table1":
+        return experiments.table1().render()
+    if command == "firealarm":
+        return experiments.sec25_firealarm(
+            memory_bytes=parse_size(args.memory)
+        ).render()
+    if command == "smarm":
+        return experiments.sec32_smarm(
+            n_blocks=args.blocks, trials=args.trials
+        ).render()
+    if command == "swarm":
+        return _run_swarm(args)
+    if command == "swatt":
+        return _run_swatt(args)
+    raise AssertionError(f"unhandled command {command!r}")
+
+
+def _run_swarm(args: argparse.Namespace) -> str:
+    from repro.malware import TransientMalware
+    from repro.ra.verifier import Verifier
+    from repro.sim.engine import Simulator
+    from repro.swarm import SwarmAttestation, make_topology
+
+    sim = Simulator()
+    topology = make_topology(sim, count=args.count, shape=args.shape)
+    verifier = Verifier(sim)
+    swarm = SwarmAttestation(topology, verifier)
+    for index in args.infect:
+        if 0 <= index < args.count:
+            TransientMalware(
+                topology.devices[index], target_block=3, infect_at=0.0,
+                name=f"mal-{index}",
+            )
+    nonce = swarm.attest(timeout=60.0)
+    sim.run(until=120.0)
+    result = swarm.result_for(nonce)
+    lines = [
+        f"swarm of {args.count} devices ({args.shape})",
+        f"aggregate valid : {result.valid}",
+        f"healthy         : {result.healthy}/{result.total}",
+        f"dirty nodes     : {', '.join(result.dirty_nodes) or '(none)'}",
+        f"completed at    : t = {result.completed_at:.3f} s",
+    ]
+    return "\n".join(lines)
+
+
+def _run_swatt(args: argparse.Namespace) -> str:
+    from repro.malware import TransientMalware
+    from repro.ra.software import SoftwareAttestation, SoftwareVerifier
+    from repro.sim import Channel, Device, Simulator
+    from repro.units import MiB
+
+    def play(redirect_penalty, speedup, infected):
+        sim = Simulator()
+        device = Device(sim, block_count=16, block_size=32,
+                        sim_block_size=MiB)
+        channel = Channel(sim, latency=0.005)
+        device.attach_network(channel)
+        service = SoftwareAttestation(
+            device, redirect_penalty=redirect_penalty,
+            forgery_speedup=speedup,
+        )
+        service.install()
+        reads = device.block_count * service.iterations
+        honest = device.timing.hash_time(
+            "sha256", device.memory.sim_block_size * reads
+        )
+        swatt_verifier = SoftwareVerifier(
+            channel, list(device.memory.benign_image()), honest
+        )
+        if infected:
+            TransientMalware(device, target_block=5, infect_at=0.0)
+        sim.schedule_at(0.5, swatt_verifier.challenge, device.name)
+        sim.run(until=60)
+        return swatt_verifier.verdicts[0]
+
+    rows = [
+        ("honest device", play(0.0, 1.0, False)),
+        ("naive malware", play(0.0, 1.0, True)),
+        ("redirecting malware", play(args.penalty, 1.0, True)),
+        ("optimized adversary", play(args.penalty, args.speedup, True)),
+    ]
+    lines = ["software-based RA timing game"]
+    for label, verdict in rows:
+        mark = "ACCEPTED" if verdict.accepted else "rejected"
+        lines.append(
+            f"  {label:<22} checksum "
+            f"{'ok' if verdict.correct else 'BAD'}  "
+            f"elapsed {verdict.elapsed:7.4f}s "
+            f"(limit {verdict.threshold:.4f}s)  -> {mark}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        import repro.experiments as experiments
+
+        sections = [
+            ("FIG1", experiments.fig1_timeline().render()),
+            ("FIG2", experiments.fig2_report().render()),
+            ("FIG3", experiments.fig3_overview().render()),
+            ("FIG4", experiments.fig4_consistency().render()),
+            ("FIG5", experiments.fig5_qoa().render()),
+            ("TABLE1", experiments.table1().render()),
+            ("SEC25", experiments.sec25_firealarm().render()),
+            ("SEC32", experiments.sec32_smarm().render()),
+        ]
+        for title, body in sections:
+            print(f"\n===== {title} =====")
+            print(body)
+        return 0
+    print(_run(args.command, args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Context-aware self-measurement scheduling (Section 3.3).
+
+ERASMUS "does not fully resolve the conflict between RA security and
+critical application needs", but offers compromises:
+
+1. interrupt MP when the application must run, reschedule it after --
+   that one falls out of priorities (MP runs below the application);
+2. *adapt MP scheduling so it does not interfere with application
+   scheduling* -- that one needs a policy, and this module provides
+   three:
+
+``FixedSchedule``
+    The baseline: start every measurement exactly at ``k * T_M``.
+``ContextAwareSchedule``
+    Defer a measurement that would collide with an imminent release of
+    a registered critical task: start it right after the critical job
+    instead.
+``SlackSchedule``
+    Only start a measurement when the projected measurement time fits
+    entirely inside the critical task's idle gap; otherwise wait for
+    the next gap.
+
+All three are callables with the signature ERASMUS expects:
+``policy(device, nominal_time, index) -> start_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import ConfigurationError
+from repro.sim.device import Device
+from repro.sim.task import PeriodicTask
+
+
+@dataclass
+class FixedSchedule:
+    """Start at the nominal instant, always."""
+
+    def __call__(self, device: Device, nominal: float, index: int) -> float:
+        return nominal
+
+
+@dataclass
+class ContextAwareSchedule:
+    """Dodge imminent critical releases.
+
+    If the nominal start is within ``guard`` seconds *before* the
+    critical task's next release, defer until just after that release
+    plus the task's worst-case execution time.
+    """
+
+    critical: PeriodicTask
+    guard: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.guard < 0:
+            raise ConfigurationError("guard must be non-negative")
+        self.deferrals = 0
+
+    def _next_release_at_or_after(self, time: float) -> float:
+        period = self.critical.period
+        offset = self.critical.offset
+        if time <= offset:
+            return offset
+        jobs_passed = int((time - offset) / period)
+        release = offset + jobs_passed * period
+        if release < time:
+            release += period
+        return release
+
+    def __call__(self, device: Device, nominal: float, index: int) -> float:
+        release = self._next_release_at_or_after(nominal)
+        if release - nominal <= self.guard:
+            self.deferrals += 1
+            return release + self.critical.wcet
+        return nominal
+
+
+@dataclass
+class SlackSchedule:
+    """Fit the whole measurement inside one idle gap of the critical task.
+
+    ``measurement_time`` is the projected duration of MP (use the
+    device's timing model).  The policy starts MP right after a
+    critical job if the remaining gap fits the measurement; otherwise
+    it keeps sliding to later gaps.  When no gap ever fits, it degrades
+    to the context-aware behaviour (a warning-grade condition the
+    ablation bench exercises by oversizing the measurement).
+    """
+
+    critical: PeriodicTask
+    measurement_time: float
+
+    def __post_init__(self) -> None:
+        if self.measurement_time < 0:
+            raise ConfigurationError("measurement_time must be >= 0")
+        self.deferrals = 0
+        self.never_fits = (
+            self.measurement_time
+            > self.critical.period - self.critical.wcet
+        )
+
+    def __call__(self, device: Device, nominal: float, index: int) -> float:
+        period = self.critical.period
+        offset = self.critical.offset
+        # Candidate start: right after the critical job in the current
+        # period window.
+        if nominal <= offset:
+            window_start = offset
+        else:
+            window_start = (
+                offset + int((nominal - offset) / period) * period
+            )
+        candidate = max(nominal, window_start + self.critical.wcet)
+        if self.never_fits:
+            self.deferrals += 1
+            return candidate
+        # Does [candidate, candidate + measurement_time] avoid the next
+        # release?
+        while True:
+            next_release = window_start + period
+            if candidate + self.measurement_time <= next_release:
+                if candidate > nominal:
+                    self.deferrals += 1
+                return candidate
+            window_start = next_release
+            candidate = window_start + self.critical.wcet

@@ -1,0 +1,227 @@
+"""The solution landscape as data: Table 1 and Figure 3.
+
+The paper's Table 1 summarizes each candidate solution along eight
+dimensions; Figure 3 arranges the same solutions as a taxonomy
+(on-demand vs self-initiated; within on-demand, locking vs shuffling).
+This module encodes both so benchmarks can print them, and -- more
+importantly -- so :mod:`repro.core.tradeoff` can check the claimed
+cells against simulation outcomes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class Feature(enum.Enum):
+    """Tri-state feature value as printed in Table 1."""
+
+    YES = "yes"
+    NO = "no"
+    PARTIAL = "partial"  # the paper's "(to some degree)" / "high prob."
+
+    @property
+    def mark(self) -> str:
+        return {"yes": "Y", "no": "x", "partial": "~"}[self.value]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One row of Table 1."""
+
+    name: str
+    reference: str
+    #: detects self-relocating malware (resident at measurement start)
+    detects_relocating: Feature
+    #: detects transient malware (resident at measurement start)
+    detects_transient: Feature
+    #: can tasks write attested memory while MP runs?
+    writable_availability: Feature
+    #: does the digest correspond to a state of M that existed in full?
+    consistency: Feature
+    #: can (critical) tasks interrupt MP?
+    interruptibility: Feature
+    #: works for unattended devices (detects infections between visits)?
+    unattended: Feature
+    extra_hardware: str
+    runtime_overhead: str
+    #: mechanism key understood by repro.core.tradeoff, "" if abstract
+    mechanism_key: str = ""
+    notes: str = ""
+
+
+# Table 1, transcribed.  The two detection columns follow the table's
+# reading: the malware is resident when the measurement starts and
+# actively tries to evade during MP (Section 2.5's two strategies).
+SOLUTIONS: Tuple[Solution, ...] = (
+    Solution(
+        name="SMART on-demand (baseline)",
+        reference="[12]",
+        detects_relocating=Feature.YES,
+        detects_transient=Feature.YES,
+        writable_availability=Feature.NO,
+        consistency=Feature.YES,
+        interruptibility=Feature.NO,
+        unattended=Feature.NO,
+        extra_hardware="baseline (ROM + key access control)",
+        runtime_overhead="baseline",
+        mechanism_key="smart",
+        notes="atomicity doubles as (coincidental) consistency",
+    ),
+    Solution(
+        name="All-Lock",
+        reference="[5]",
+        detects_relocating=Feature.YES,
+        detects_transient=Feature.YES,
+        writable_availability=Feature.NO,
+        consistency=Feature.YES,
+        interruptibility=Feature.PARTIAL,
+        unattended=Feature.NO,
+        extra_hardware="dynamically configurable MPU or MMU",
+        runtime_overhead="low",
+        mechanism_key="all-lock",
+        notes="interruptible, but writers to M stay blocked",
+    ),
+    Solution(
+        name="Dec-Lock",
+        reference="[5]",
+        detects_relocating=Feature.YES,
+        detects_transient=Feature.YES,
+        writable_availability=Feature.PARTIAL,
+        consistency=Feature.YES,
+        interruptibility=Feature.PARTIAL,
+        unattended=Feature.NO,
+        extra_hardware="dynamically configurable MPU or MMU",
+        runtime_overhead="low",
+        mechanism_key="dec-lock",
+        notes="consistent with M at t_s; blocks free up as measured",
+    ),
+    Solution(
+        name="Inc-Lock",
+        reference="[5]",
+        detects_relocating=Feature.YES,
+        detects_transient=Feature.NO,
+        writable_availability=Feature.PARTIAL,
+        consistency=Feature.YES,
+        interruptibility=Feature.PARTIAL,
+        unattended=Feature.NO,
+        extra_hardware="dynamically configurable MPU or MMU",
+        runtime_overhead="low",
+        mechanism_key="inc-lock",
+        notes="consistent with M at t_e; transient can erase early",
+    ),
+    Solution(
+        name="Shuffled measurement (SMARM)",
+        reference="[7]",
+        detects_relocating=Feature.PARTIAL,  # "(high prob.)"
+        detects_transient=Feature.NO,
+        writable_availability=Feature.YES,
+        consistency=Feature.NO,
+        interruptibility=Feature.YES,
+        unattended=Feature.NO,
+        extra_hardware="none (optionally secure memory)",
+        runtime_overhead="high",
+        mechanism_key="smarm",
+        notes="~e^-1 escape per round; repeat to drive it down",
+    ),
+    Solution(
+        name="Self-measurement (ERASMUS/SeED)",
+        reference="[6, 14]",
+        detects_relocating=Feature.YES,
+        detects_transient=Feature.YES,
+        writable_availability=Feature.NO,
+        consistency=Feature.YES,
+        # The table prints "x (may be made context aware)": measurements
+        # themselves are atomic; the *schedule* dodges the application.
+        interruptibility=Feature.NO,
+        unattended=Feature.YES,
+        extra_hardware="secure clock",
+        runtime_overhead="none (amortized off the critical path)",
+        mechanism_key="erasmus",
+        notes="QoA decouples measurement (T_M) from collection (T_C)",
+    ),
+)
+
+_COLUMNS = (
+    ("Solution", lambda s: s.name),
+    ("Reloc", lambda s: s.detects_relocating.mark),
+    ("Trans", lambda s: s.detects_transient.mark),
+    ("WritableMem", lambda s: s.writable_availability.mark),
+    ("Consist", lambda s: s.consistency.mark),
+    ("Interrupt", lambda s: s.interruptibility.mark),
+    ("Unattend", lambda s: s.unattended.mark),
+    ("ExtraHW", lambda s: s.extra_hardware),
+    ("Overhead", lambda s: s.runtime_overhead),
+)
+
+
+def solution_table() -> str:
+    """Render Table 1 as aligned text (the TAB1 bench prints this next
+    to the empirically derived matrix)."""
+    rows = [[title for title, _ in _COLUMNS]]
+    for solution in SOLUTIONS:
+        rows.append([getter(solution) for _, getter in _COLUMNS])
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(_COLUMNS))
+    ]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def taxonomy_tree() -> Dict[str, Dict[str, List[str]]]:
+    """Figure 3's overview: how the solutions relate.
+
+    Returned as a nested dict; :func:`render_taxonomy` prints it.
+    """
+    return {
+        "interruptible attestation (on-demand)": {
+            "memory locking [5]": [
+                "All-Lock / All-Lock-Ext",
+                "Dec-Lock (consistent at t_s)",
+                "Inc-Lock / Inc-Lock-Ext (consistent at t_e)",
+            ],
+            "shuffled measurement [7]": [
+                "SMARM (secret order, repeat k times)",
+            ],
+            "per-process measurement [3]": [
+                "TyTAN (measured process may not interrupt)",
+            ],
+        },
+        "periodic self-measurement": {
+            "collect-later [6]": [
+                "ERASMUS (T_M measurements, T_C collections)",
+            ],
+            "prover-initiated [14]": [
+                "SeED (secret triggers, monotonic counters)",
+            ],
+        },
+    }
+
+
+def render_taxonomy() -> str:
+    """Figure 3 as an indented text tree."""
+    lines = ["potential solutions"]
+    tree = taxonomy_tree()
+    for family, subfamilies in tree.items():
+        lines.append(f"+- {family}")
+        for subfamily, members in subfamilies.items():
+            lines.append(f"|  +- {subfamily}")
+            for member in members:
+                lines.append(f"|  |  +- {member}")
+    return "\n".join(lines)
+
+
+def solution_by_key(mechanism_key: str) -> Optional[Solution]:
+    """Look up the Table 1 row for a mechanism key."""
+    for solution in SOLUTIONS:
+        if solution.mechanism_key == mechanism_key:
+            return solution
+    return None

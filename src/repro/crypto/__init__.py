@@ -1,0 +1,50 @@
+"""Cryptographic substrate.
+
+Everything Figure 2 of the paper measures is implemented functionally:
+
+* :mod:`repro.crypto.hashes` -- SHA-256, SHA-512, BLAKE2b, BLAKE2s
+  behind one registry;
+* :mod:`repro.crypto.hmac` -- HMAC (RFC 2104) from scratch;
+* :mod:`repro.crypto.drbg` -- deterministic HMAC-DRBG, the package's
+  seeded randomness source (SMARM permutations, nonces, key material);
+* :mod:`repro.crypto.modmath` -- modular arithmetic and primality;
+* :mod:`repro.crypto.rsa` -- RSA key generation, PKCS#1 v1.5-style
+  signatures with CRT acceleration;
+* :mod:`repro.crypto.ecdsa` -- short-Weierstrass ECDSA over
+  secp160r1 / secp224r1 / secp256r1 with deterministic nonces;
+* :mod:`repro.crypto.timing` -- the calibrated ODROID-XU4 cost model
+  that turns byte counts into simulated seconds (Figure 2's curves).
+"""
+
+from repro.crypto.hashes import HASH_ALGORITHMS, digest, hash_new
+from repro.crypto.hmac import Hmac, hmac_digest
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaKeyPair, rsa_generate, rsa_sign, rsa_verify
+from repro.crypto.ecdsa import (
+    CURVES,
+    EcdsaKeyPair,
+    ecdsa_generate,
+    ecdsa_sign,
+    ecdsa_verify,
+)
+from repro.crypto.timing import OdroidXU4Model, TimingModel
+
+__all__ = [
+    "HASH_ALGORITHMS",
+    "digest",
+    "hash_new",
+    "Hmac",
+    "hmac_digest",
+    "HmacDrbg",
+    "RsaKeyPair",
+    "rsa_generate",
+    "rsa_sign",
+    "rsa_verify",
+    "CURVES",
+    "EcdsaKeyPair",
+    "ecdsa_generate",
+    "ecdsa_sign",
+    "ecdsa_verify",
+    "OdroidXU4Model",
+    "TimingModel",
+]

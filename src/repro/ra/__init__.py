@@ -1,0 +1,84 @@
+"""Remote attestation mechanisms -- the paper's subject matter.
+
+One module per point in the solution landscape (Section 3):
+
+* :mod:`repro.ra.smart` -- the baseline: atomic on-demand RA (SMART);
+* :mod:`repro.ra.locking` -- No-Lock / All-Lock / All-Lock-Ext /
+  Dec-Lock / Inc-Lock / Inc-Lock-Ext consistency mechanisms;
+* :mod:`repro.ra.smarm` -- interruptible shuffled measurements (SMARM);
+* :mod:`repro.ra.erasmus` -- periodic self-measurement (ERASMUS);
+* :mod:`repro.ra.seed` -- prover-initiated non-interactive RA (SeED);
+* :mod:`repro.ra.tytan` -- per-process measurement (TyTAN model);
+* :mod:`repro.ra.software` -- software-only timing-based RA for legacy
+  devices (Pioneer model, including its documented failure mode);
+* :mod:`repro.ra.signing` -- signed (non-repudiable) reports, §2.4;
+* :mod:`repro.ra.update` -- secure update and secure erasure services
+  built on attestation (§1's "other security services");
+
+supported by:
+
+* :mod:`repro.ra.report` -- measurement records and attestation reports;
+* :mod:`repro.ra.measurement` -- the block-traversal measurement engine;
+* :mod:`repro.ra.verifier` -- the trusted verifier.
+"""
+
+from repro.ra.report import (
+    AttestationReport,
+    MeasurementRecord,
+    VerificationResult,
+    Verdict,
+)
+from repro.ra.measurement import MeasurementConfig, MeasurementProcess
+from repro.ra.locking import (
+    LockingPolicy,
+    NoLock,
+    AllLock,
+    DecLock,
+    IncLock,
+    make_policy,
+    POLICY_NAMES,
+)
+from repro.ra.verifier import Verifier
+from repro.ra.smart import SmartAttestation
+from repro.ra.smarm import SmarmAttestation
+from repro.ra.erasmus import ErasmusService, CollectionResult
+from repro.ra.seed import SeedService
+from repro.ra.tytan import TytanAttestation, ProcessPartition
+from repro.ra.software import SoftwareAttestation, SoftwareVerifier
+from repro.ra.signing import (
+    PublicIdentity,
+    SigningIdentity,
+    make_signing_identity,
+)
+from repro.ra.update import UpdateCoordinator, UpdateService
+
+__all__ = [
+    "AttestationReport",
+    "MeasurementRecord",
+    "VerificationResult",
+    "Verdict",
+    "MeasurementConfig",
+    "MeasurementProcess",
+    "LockingPolicy",
+    "NoLock",
+    "AllLock",
+    "DecLock",
+    "IncLock",
+    "make_policy",
+    "POLICY_NAMES",
+    "Verifier",
+    "SmartAttestation",
+    "SmarmAttestation",
+    "ErasmusService",
+    "CollectionResult",
+    "SeedService",
+    "TytanAttestation",
+    "ProcessPartition",
+    "SoftwareAttestation",
+    "SoftwareVerifier",
+    "PublicIdentity",
+    "SigningIdentity",
+    "make_signing_identity",
+    "UpdateCoordinator",
+    "UpdateService",
+]

@@ -1,0 +1,315 @@
+"""The measurement process MP: keyed block traversal of prover memory.
+
+This is the engine every mechanism in Section 3 shares.  One run of
+:class:`MeasurementProcess`:
+
+1. marks t_s and (optionally) enters an atomic section -- SMART's
+   "disable interrupts first" (Section 3.1);
+2. applies a :class:`~repro.ra.locking.LockingPolicy` start hook,
+   charging simulated MPU-syscall time;
+3. derives the traversal order -- sequential, or a secret permutation
+   derived from the attestation key and nonce (SMARM, Section 3.2), so
+   the verifier can recompute it but on-device malware cannot;
+4. walks the blocks: snapshot, HMAC update, simulated hash time,
+   per-block lock hooks, and -- when interruptible -- a progress
+   notification to resident malware, which is exactly the adversary
+   model of Section 3.2 ("it may be able to determine how far along
+   the measurement is ... and thus deduce how many blocks have been
+   measured");
+5. marks t_e, finalizes the HMAC (outer hash), releases or schedules
+   release of remaining locks, and produces a
+   :class:`~repro.ra.report.MeasurementRecord`.
+
+Malware boundary actions are instantaneous: a zero-cost,
+perfectly-reactive adversary, i.e. the *worst case* for every
+mechanism (any real malware is slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hmac import Hmac, hmac_digest
+from repro.errors import ConfigurationError
+from repro.ra.locking import LockingPolicy, NoLock
+from repro.ra.report import MeasurementRecord, audit_hash
+from repro.sim.device import Device
+from repro.sim.process import Atomic, Compute, Process
+
+
+@dataclass
+class MeasurementConfig:
+    """Static parameters of a measurement.
+
+    ``order`` is ``"sequential"`` (SMART, locking mechanisms) or
+    ``"shuffled"`` (SMARM).  ``atomic`` masks interrupts for the whole
+    traversal.  ``locking`` defaults to No-Lock.  ``release_delay``
+    sets t_r = t_e + delay for the extended policies (a
+    verifier-triggered release behaves identically; we model the
+    timer-based variant).  ``region`` restricts measurement to a named
+    region (TyTAN's per-process measurement); ``None`` measures all of
+    M.
+    """
+
+    algorithm: str = "blake2s"
+    order: str = "sequential"
+    atomic: bool = False
+    locking: Optional[LockingPolicy] = None
+    release_delay: float = 0.0
+    region: Optional[str] = None
+    priority: int = 50
+    notify_malware: bool = True
+    #: Section 2.3: contribute zeros for blocks in mutable regions so
+    #: legitimate data writes do not read as compromise.  The verifier
+    #: mirrors this via the record's ``normalized`` flag.
+    normalize_mutable: bool = False
+    #: Section 2.3's other option: measure everything as-is and attach
+    #: a verbatim copy of the mutable (data) region to the record, so
+    #: the verifier can reproduce the digest ("Prv can return the
+    #: fixed-size measurement result ... accompanied by a copy of D.
+    #: Clearly, this only makes sense if |D| is small").  Mutually
+    #: exclusive with ``normalize_mutable``.
+    attach_mutable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.order not in ("sequential", "shuffled"):
+            raise ConfigurationError(f"unknown order {self.order!r}")
+        if self.release_delay < 0:
+            raise ConfigurationError("release_delay must be >= 0")
+        if self.normalize_mutable and self.attach_mutable:
+            raise ConfigurationError(
+                "normalize_mutable and attach_mutable are the two "
+                "alternative treatments of D; pick one"
+            )
+
+
+def derive_order_seed(key: bytes, nonce: bytes, counter: int) -> bytes:
+    """Key-derived seed for the secret traversal permutation.
+
+    Malware cannot compute it (no key access); the verifier can.
+    """
+    material = b"smarm-order" + nonce + counter.to_bytes(8, "big")
+    return hmac_digest(key, material, "sha256")[:16]
+
+
+def traversal_order(
+    blocks: Sequence[int], order: str, order_seed: bytes
+) -> List[int]:
+    """The block visit order for a measurement (shared with the verifier)."""
+    if order == "sequential":
+        return list(blocks)
+    return HmacDrbg(order_seed).shuffle(list(blocks))
+
+
+class MeasurementProcess:
+    """One run of MP on a device.
+
+    Spawn it on the device CPU::
+
+        mp = MeasurementProcess(device, config, nonce=b"...", counter=1)
+        proc = device.cpu.spawn("mp", mp.run, priority=config.priority)
+        sim.run()
+        record = mp.record
+
+    The finished :class:`MeasurementRecord` is also the process result
+    (``proc.result``), so callers can wait on ``proc.done_signal``.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        config: MeasurementConfig,
+        nonce: bytes,
+        counter: int = 0,
+        mechanism: str = "generic",
+    ) -> None:
+        self.device = device
+        self.config = config
+        self.nonce = nonce
+        self.counter = counter
+        self.mechanism = mechanism
+        self.record: Optional[MeasurementRecord] = None
+        self.policy = config.locking if config.locking is not None else NoLock()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _measured_blocks(self) -> List[int]:
+        if self.config.region is None:
+            return list(range(self.device.block_count))
+        region = self.device.memory.regions.get(self.config.region)
+        if region is None:
+            raise ConfigurationError(
+                f"unknown region {self.config.region!r}"
+            )
+        return list(region.blocks())
+
+    def _lock_cost(self, ops: int) -> float:
+        return ops * self.device.timing.lock_op_cost
+
+    # -- the process body ---------------------------------------------------
+
+    def run(self, proc: Process):
+        device = self.device
+        config = self.config
+        sim = device.sim
+        timing = device.timing
+        interruptible = not config.atomic
+
+        blocks = self._measured_blocks()
+        order_seed = b""
+        if config.order == "shuffled":
+            order_seed = derive_order_seed(
+                device.attestation_key, self.nonce, self.counter
+            )
+        order = traversal_order(blocks, config.order, order_seed)
+
+        t_start = sim.now
+        preemptions_before = proc.preemption_count
+        device.trace.record(
+            sim.now, "mp.start", self.mechanism,
+            nonce=self.nonce.hex()[:8], counter=self.counter,
+        )
+
+        if config.atomic:
+            yield Atomic(True)
+
+        self.policy.reset(device, order)
+        start_ops = self.policy.on_start()
+        if start_ops:
+            yield Compute(self._lock_cost(start_ops))
+
+        if config.notify_malware:
+            device.notify_measurement_started(
+                self.mechanism, interruptible, config.region or ""
+            )
+
+        mac = Hmac(device.attestation_key, config.algorithm)
+        mac.update(self.nonce + self.counter.to_bytes(8, "big"))
+
+        block_times = [-1.0] * device.block_count
+        block_hashes = [b""] * device.block_count
+        block_hash_time = timing.hash_time(
+            config.algorithm, device.memory.sim_block_size
+        )
+
+        zero_block = b"\x00" * device.memory.block_size
+        data_copy = []
+
+        def is_mutable(block_index: int) -> bool:
+            region = device.memory.region_of(block_index)
+            return region is not None and region.mutable
+
+        def digest_content(block_index: int, content: bytes) -> bytes:
+            if config.normalize_mutable and is_mutable(block_index):
+                return zero_block
+            if config.attach_mutable and is_mutable(block_index):
+                # Ship the measured data verbatim (Section 2.3's
+                # "accompanied by a copy of D").
+                data_copy.append((block_index, content))
+            return content
+
+        for position, block_index in enumerate(order):
+            pre_ops = self.policy.before_block(block_index)
+            if pre_ops:
+                yield Compute(self._lock_cost(pre_ops))
+            content = device.memory.read_block(block_index)
+            block_times[block_index] = sim.now
+            block_hashes[block_index] = audit_hash(content)
+            mac.update(digest_content(block_index, content))
+            yield Compute(block_hash_time)
+            post_ops = self.policy.after_block(block_index)
+            if post_ops:
+                yield Compute(self._lock_cost(post_ops))
+            if config.notify_malware:
+                device.notify_block_measured(
+                    position + 1, len(order), interruptible,
+                    config.region or "",
+                )
+
+        # Outer HMAC hash over the fixed-size inner digest.
+        yield Compute(timing.hash_time(config.algorithm, mac.digest_size))
+        digest = mac.digest()
+
+        # t_e is stamped before the end-of-measurement unlocks so that
+        # "released at t_e" means exactly that; the MPU syscall time is
+        # then charged after the measurement proper.
+        t_end = sim.now
+        end_ops = self.policy.on_end()
+        if end_ops:
+            yield Compute(self._lock_cost(end_ops))
+
+        t_release: Optional[float] = None
+        if self.policy.holds_after_end:
+            t_release = t_end + config.release_delay
+            sim.schedule(config.release_delay, self._do_release)
+
+        if config.atomic:
+            yield Atomic(False)
+
+        if config.notify_malware:
+            device.notify_measurement_finished()
+
+        self.record = MeasurementRecord(
+            device=device.name,
+            mechanism=self.mechanism,
+            algorithm=config.algorithm,
+            nonce=self.nonce,
+            counter=self.counter,
+            digest=digest,
+            t_start=t_start,
+            t_end=t_end,
+            block_count=len(order),
+            order_seed=order_seed,
+            region=config.region or "",
+            normalized=config.normalize_mutable,
+            data_copy=tuple(sorted(data_copy)),
+            t_release=t_release,
+            interruptions=proc.preemption_count - preemptions_before,
+            audit_block_times=tuple(block_times),
+            audit_block_hashes=tuple(block_hashes),
+        )
+        device.trace.record(
+            sim.now, "mp.end", self.mechanism,
+            duration=round(t_end - t_start, 6),
+            interruptions=self.record.interruptions,
+        )
+        return self.record
+
+    def _do_release(self) -> None:
+        """Release extended locks at t_r (timer- or verifier-driven)."""
+        self.policy.on_release()
+        self.device.trace.record(
+            self.device.sim.now, "mp.release", self.mechanism
+        )
+
+
+def expected_digest(
+    key: bytes,
+    reference_blocks: Sequence[bytes],
+    algorithm: str,
+    nonce: bytes,
+    counter: int,
+    measured_blocks: Sequence[int],
+    order: str,
+    order_seed: bytes,
+    normalized_blocks: Optional[frozenset] = None,
+) -> bytes:
+    """What the verifier expects MP to produce over a reference image.
+
+    Mirrors :meth:`MeasurementProcess.run`'s digest computation exactly;
+    any divergence between prover memory and the reference changes the
+    result.  ``normalized_blocks`` are the mutable blocks that
+    contribute zeros when the record is normalized (Section 2.3).
+    """
+    visit = traversal_order(list(measured_blocks), order, order_seed)
+    mac = Hmac(key, algorithm)
+    mac.update(nonce + counter.to_bytes(8, "big"))
+    normalized = normalized_blocks or frozenset()
+    for block_index in visit:
+        if block_index in normalized:
+            mac.update(b"\x00" * len(reference_blocks[block_index]))
+        else:
+            mac.update(reference_blocks[block_index])
+    return mac.digest()

@@ -1,0 +1,265 @@
+"""On-demand attestation plumbing shared by SMART, locking and SMARM.
+
+Prover side: :class:`AttestationService` -- a device process that waits
+for ``att_request`` messages, runs the configured measurement (one or
+more rounds), and replies with an authenticated report.
+
+Verifier side: :class:`OnDemandVerifier` -- sends challenges, matches
+responses to outstanding nonces, verifies, and keeps the Figure 1
+timeline (request sent / received / t_s / t_e / report received /
+verified).
+
+The verifier host is not CPU-modelled (Vrf is a resource-rich machine);
+its verification latency is charged as a configurable engine delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.ra.measurement import MeasurementConfig, MeasurementProcess
+from repro.ra.report import AttestationReport, VerificationResult
+from repro.ra.verifier import Verifier
+from repro.sim.device import Device
+from repro.sim.engine import Signal
+from repro.sim.network import Channel, Endpoint, Message
+from repro.sim.process import Compute, Process, Sleep, WaitSignal
+
+
+def listen(
+    endpoint: Endpoint,
+    handler: Callable[[Message], None],
+    kinds: Optional[frozenset] = None,
+) -> None:
+    """Invoke ``handler`` for every matching message at ``endpoint``.
+
+    ``kinds`` restricts the listener to specific message kinds; a
+    listener consumes *only* its own kinds from the mailbox, so several
+    protocol services (SMART + ERASMUS + SeED on one prover) can share
+    one NIC without stealing each other's traffic.  ``kinds=None``
+    consumes everything -- only safe for a dedicated endpoint.
+
+    Signals are edges, so the listener re-arms itself before draining;
+    draining (rather than using the fired value) makes same-instant
+    bursts safe.
+    """
+
+    def matches(message: Message) -> bool:
+        return kinds is None or message.kind in kinds
+
+    def on_rx(_value) -> None:
+        endpoint.rx_signal.wait(on_rx)
+        taken = [m for m in endpoint.inbox if matches(m)]
+        for message in taken:
+            endpoint.inbox.remove(message)
+            handler(message)
+
+    endpoint.rx_signal.wait(on_rx)
+
+
+class AttestationService:
+    """The prover-side RA service.
+
+    Parameters
+    ----------
+    device:
+        The prover; must have a NIC attached.
+    config:
+        Measurement configuration (atomicity, order, locking, priority).
+    mechanism:
+        Name stamped into records ("smart", "dec-lock", "smarm", ...).
+    inter_round_gap:
+        Idle time between successive rounds of a multi-round request
+        (SMARM needs *independent* measurements; a gap lets the
+        application run in between).
+    service_priority:
+        Priority of the dispatcher process itself (cheap bookkeeping).
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        config: MeasurementConfig,
+        mechanism: str = "ondemand",
+        inter_round_gap: float = 0.0,
+        service_priority: int = 60,
+    ) -> None:
+        if device.nic is None:
+            raise ConfigurationError(
+                "attach the device to a channel before installing RA"
+            )
+        self.device = device
+        self.config = config
+        self.mechanism = mechanism
+        self.inter_round_gap = inter_round_gap
+        self.service_priority = service_priority
+        self.requests_handled = 0
+        self.reports_sent: List[AttestationReport] = []
+        #: optional SigningIdentity for non-repudiable reports (§2.4)
+        self.signer = None
+        self._counter = 0
+        self._request_signal = Signal(device.sim, f"{device.name}.ra.req")
+        self._pending: List[Message] = []
+        self.process: Optional[Process] = None
+
+    def install(self) -> Process:
+        """Register the message listener and start the dispatcher."""
+        listen(self.device.nic, self._on_message,
+               kinds=frozenset({"att_request"}))
+        self.process = self.device.cpu.spawn(
+            f"{self.device.name}.ra-service",
+            self._dispatcher,
+            priority=self.service_priority,
+        )
+        return self.process
+
+    # -- internals --------------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind != "att_request":
+            return
+        self._pending.append(message)
+        self._request_signal.fire(message)
+
+    def _dispatcher(self, proc: Process):
+        device = self.device
+        while True:
+            if not self._pending:
+                yield WaitSignal(self._request_signal)
+                continue
+            message = self._pending.pop(0)
+            payload = message.payload or {}
+            nonce = payload.get("nonce", b"")
+            rounds = int(payload.get("rounds", 1))
+            device.trace.record(
+                device.sim.now, "ra.request", device.name,
+                src=message.src, rounds=rounds,
+            )
+            records = []
+            for round_index in range(rounds):
+                if round_index > 0 and self.inter_round_gap > 0:
+                    yield Sleep(self.inter_round_gap)
+                self._counter += 1
+                mp = MeasurementProcess(
+                    device, self.config, nonce=nonce,
+                    counter=self._counter, mechanism=self.mechanism,
+                )
+                mp_proc = device.cpu.spawn(
+                    f"{device.name}.mp.{self._counter}",
+                    mp.run,
+                    priority=self.config.priority,
+                )
+                yield WaitSignal(mp_proc.done_signal)
+                records.append(mp.record)
+            report = AttestationReport.authenticate(
+                device.attestation_key, device.name, records,
+                sent_counter=self._counter,
+            )
+            if self.signer is not None:
+                from repro.ra.signing import sign_data
+
+                # Signing the fixed-size digest bundle costs the
+                # prover the Figure 2 per-signature time.
+                yield Compute(
+                    device.timing.sign_time(self.signer.scheme)
+                )
+                report = report.with_signature(
+                    sign_data(self.signer, report.signing_input()),
+                    self.signer.scheme,
+                )
+            self.reports_sent.append(report)
+            self.requests_handled += 1
+            device.nic.send(message.src, "att_report", report)
+            device.trace.record(
+                device.sim.now, "ra.reply", device.name,
+                records=len(records), signed=self.signer is not None,
+            )
+
+
+@dataclass
+class AttestationExchange:
+    """One completed request/response, with its Figure 1 timeline."""
+
+    device: str
+    nonce: bytes
+    requested_at: float
+    report: Optional[AttestationReport] = None
+    report_received_at: Optional[float] = None
+    result: Optional[VerificationResult] = None
+
+    @property
+    def round_trip(self) -> Optional[float]:
+        if self.result is None:
+            return None
+        return self.result.verified_at - self.requested_at
+
+
+class OnDemandVerifier:
+    """Verifier-side driver for challenge/response attestation."""
+
+    def __init__(
+        self,
+        verifier: Verifier,
+        channel: Channel,
+        endpoint_name: str = "vrf",
+        verify_latency: float = 1e-3,
+    ) -> None:
+        self.verifier = verifier
+        self.channel = channel
+        self.endpoint = channel.make_endpoint(endpoint_name)
+        self.verify_latency = verify_latency
+        self.exchanges: List[AttestationExchange] = []
+        self._outstanding: Dict[bytes, AttestationExchange] = {}
+        listen(self.endpoint, self._on_message,
+               kinds=frozenset({"att_report"}))
+
+    def request(
+        self,
+        device_name: str,
+        rounds: int = 1,
+        on_result: Optional[Callable[[AttestationExchange], None]] = None,
+    ) -> AttestationExchange:
+        """Send a challenge to ``device_name``; returns the exchange
+        object that will be filled in as the protocol completes."""
+        nonce = self.verifier.new_nonce(device_name)
+        exchange = AttestationExchange(
+            device=device_name,
+            nonce=nonce,
+            requested_at=self.verifier.sim.now,
+        )
+        exchange._on_result = on_result  # type: ignore[attr-defined]
+        self.exchanges.append(exchange)
+        self._outstanding[nonce] = exchange
+        self.endpoint.send(
+            device_name, "att_request", {"nonce": nonce, "rounds": rounds}
+        )
+        return exchange
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind != "att_report":
+            return
+        report: AttestationReport = message.payload
+        exchange = self._outstanding.get(report.newest.nonce)
+        if exchange is None:
+            # Unsolicited or replayed: verify anyway so replays are logged.
+            self.verifier.sim.schedule(
+                self.verify_latency,
+                self.verifier.verify_report, report, b"\x00",
+            )
+            return
+        exchange.report = report
+        exchange.report_received_at = self.verifier.sim.now
+        self.verifier.sim.schedule(
+            self.verify_latency, self._finish, exchange
+        )
+
+    def _finish(self, exchange: AttestationExchange) -> None:
+        exchange.result = self.verifier.verify_report(
+            exchange.report, expected_nonce=exchange.nonce
+        )
+        del self._outstanding[exchange.nonce]
+        callback = getattr(exchange, "_on_result", None)
+        if callback is not None:
+            callback(exchange)

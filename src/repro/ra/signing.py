@@ -1,0 +1,92 @@
+"""Report signing: the Section 2.4 non-repudiation option.
+
+MACs are cheap but deniable (verifier and prover share the key);
+"if non-repudiation or strong origin authentication is required,
+signatures are justified".  This module packages the from-scratch RSA
+and ECDSA implementations behind a scheme-name interface matching
+Figure 2's labels (``rsa1024`` ... ``ecdsa256``), with a clean
+public/private split so the verifier never holds signing material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.crypto.ecdsa import (
+    EcdsaKeyPair,
+    ecdsa_generate,
+    ecdsa_sign,
+    ecdsa_verify,
+    get_curve,
+)
+from repro.crypto.rsa import (
+    RsaKeyPair,
+    RsaPublicKey,
+    rsa_generate,
+    rsa_sign,
+    rsa_verify,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SigningIdentity:
+    """A prover's signing credential (private half included)."""
+
+    scheme: str
+    keypair: Union[RsaKeyPair, EcdsaKeyPair]
+
+    def public(self) -> "PublicIdentity":
+        if isinstance(self.keypair, RsaKeyPair):
+            return PublicIdentity(self.scheme, self.keypair.public)
+        return PublicIdentity(
+            self.scheme, (self.keypair.curve.name, self.keypair.q)
+        )
+
+
+@dataclass(frozen=True)
+class PublicIdentity:
+    """What the verifier stores: scheme plus public material only."""
+
+    scheme: str
+    material: Union[RsaPublicKey, Tuple[str, Tuple[int, int]]]
+
+
+def make_signing_identity(scheme: str, seed: bytes) -> SigningIdentity:
+    """Deterministically derive a signing key pair for ``scheme``.
+
+    ``scheme`` is one of Figure 2's names: ``rsa1024`` / ``rsa2048`` /
+    ``rsa4096`` / ``ecdsa160`` / ``ecdsa224`` / ``ecdsa256``.
+    """
+    if scheme.startswith("rsa"):
+        bits = int(scheme[3:])
+        return SigningIdentity(scheme, rsa_generate(bits, seed=seed))
+    if scheme.startswith("ecdsa"):
+        return SigningIdentity(scheme, ecdsa_generate(scheme, seed=seed))
+    raise ConfigurationError(f"unknown signature scheme {scheme!r}")
+
+
+def sign_data(identity: SigningIdentity, data: bytes) -> bytes:
+    """Sign ``data``; ECDSA (r, s) is serialized fixed-width."""
+    keypair = identity.keypair
+    if isinstance(keypair, RsaKeyPair):
+        return rsa_sign(keypair.private, data)
+    r, s = ecdsa_sign(keypair, data)
+    width = keypair.curve.byte_length
+    return r.to_bytes(width, "big") + s.to_bytes(width, "big")
+
+
+def verify_data(public: PublicIdentity, data: bytes,
+                signature: bytes) -> bool:
+    """Verify ``signature`` over ``data`` with public material only."""
+    if isinstance(public.material, RsaPublicKey):
+        return rsa_verify(public.material, data, signature)
+    curve_name, q = public.material
+    curve = get_curve(curve_name)
+    width = curve.byte_length
+    if len(signature) != 2 * width:
+        return False
+    r = int.from_bytes(signature[:width], "big")
+    s = int.from_bytes(signature[width:], "big")
+    return ecdsa_verify(curve, q, data, (r, s))

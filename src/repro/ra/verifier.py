@@ -1,0 +1,286 @@
+"""The trusted verifier (Vrf).
+
+Vrf keeps a database of registered provers: shared attestation key,
+reference (benign) memory image and region layout.  For every incoming
+record it recomputes the digest MP *should* have produced over the
+reference image -- same nonce, same counter, same traversal order
+(recomputable because the shuffled order is derived from the shared
+key, Section 3.2) -- and compares.
+
+Replay defenses follow the paper: on-demand reports must answer the
+outstanding challenge nonce; prover-initiated (SeED) reports must carry
+a strictly increasing monotonic counter (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ConfigurationError
+from repro.ra.measurement import expected_digest
+from repro.ra.report import (
+    AttestationReport,
+    MeasurementRecord,
+    Verdict,
+    VerificationResult,
+)
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class DeviceProfile:
+    """Everything Vrf knows about one prover."""
+
+    name: str
+    key: bytes
+    reference: Tuple[bytes, ...]
+    region_map: Dict[str, List[int]] = field(default_factory=dict)
+    #: blocks in mutable (data) regions, zeroed when records are
+    #: normalized (Section 2.3)
+    mutable_blocks: frozenset = frozenset()
+    #: highest accepted monotonic counter, per report stream -- SeED
+    #: pushes and ERASMUS collections each keep their own sequence
+    last_counters: Dict[str, int] = field(default_factory=dict)
+    #: public signing identity for non-repudiable reports (§2.4);
+    #: None means MAC-only operation
+    public_identity: Optional[object] = None
+    outstanding_nonce: Optional[bytes] = None
+    #: verification timing cost model hook (seconds per record verify)
+    verify_cost: float = 0.0
+
+
+class Verifier:
+    """Vrf: challenge generation, report verification, result history."""
+
+    def __init__(self, sim: Simulator, name: str = "vrf",
+                 nonce_seed: bytes = b"vrf-nonces", trace=None) -> None:
+        self.sim = sim
+        self.name = name
+        self.trace = trace
+        self.devices: Dict[str, DeviceProfile] = {}
+        self.results: List[VerificationResult] = []
+        self._nonce_drbg = HmacDrbg(nonce_seed)
+        self._seen_nonces: Dict[str, set] = {}
+
+    # -- registry ---------------------------------------------------------
+
+    def register_device(
+        self,
+        name: str,
+        key: bytes,
+        reference: Sequence[bytes],
+        region_map: Optional[Dict[str, List[int]]] = None,
+        mutable_blocks: Optional[frozenset] = None,
+    ) -> DeviceProfile:
+        if name in self.devices:
+            raise ConfigurationError(f"device {name!r} already registered")
+        profile = DeviceProfile(
+            name=name,
+            key=key,
+            reference=tuple(bytes(b) for b in reference),
+            region_map=dict(region_map or {}),
+            mutable_blocks=mutable_blocks or frozenset(),
+        )
+        self.devices[name] = profile
+        self._seen_nonces[name] = set()
+        return profile
+
+    def register_from_device(self, device) -> DeviceProfile:
+        """Convenience: register a simulated Device using its pristine
+        image as the reference state."""
+        region_map = {
+            region.name: list(region.blocks())
+            for region in device.memory.regions.values()
+        }
+        mutable = frozenset(
+            block
+            for region in device.memory.regions.values()
+            if region.mutable
+            for block in region.blocks()
+        )
+        return self.register_device(
+            device.name,
+            device.attestation_key,
+            list(device.memory.benign_image()),
+            region_map,
+            mutable,
+        )
+
+    def profile(self, device_name: str) -> DeviceProfile:
+        profile = self.devices.get(device_name)
+        if profile is None:
+            raise ConfigurationError(f"unknown device {device_name!r}")
+        return profile
+
+    def register_signing_identity(self, device_name: str,
+                                  public_identity) -> None:
+        """Store the prover's public key for signed-report checking."""
+        self.profile(device_name).public_identity = public_identity
+
+    # -- challenges ---------------------------------------------------------
+
+    def new_nonce(self, device_name: str, length: int = 16) -> bytes:
+        """A fresh challenge; recorded as the outstanding one."""
+        profile = self.profile(device_name)
+        nonce = self._nonce_drbg.generate(length)
+        profile.outstanding_nonce = nonce
+        return nonce
+
+    # -- verification ---------------------------------------------------------
+
+    def _measured_blocks(
+        self, profile: DeviceProfile, record: MeasurementRecord
+    ) -> List[int]:
+        if not record.region:
+            return list(range(len(profile.reference)))
+        blocks = profile.region_map.get(record.region)
+        if blocks is None:
+            raise ConfigurationError(
+                f"record references unknown region {record.region!r}"
+            )
+        return list(blocks)
+
+    def expected_for(self, record: MeasurementRecord) -> bytes:
+        """Digest MP should produce over the reference image.
+
+        When the record ships a copy of D (Section 2.3), the attached
+        contents stand in for the reference's data blocks -- the code
+        region must still match the golden image exactly.
+        """
+        profile = self.profile(record.device)
+        order = "shuffled" if record.order_seed else "sequential"
+        reference = profile.reference
+        if record.data_copy:
+            blocks = list(reference)
+            for block_index, content in record.data_copy:
+                blocks[block_index] = bytes(content)
+            reference = tuple(blocks)
+        return expected_digest(
+            profile.key,
+            reference,
+            record.algorithm,
+            record.nonce,
+            record.counter,
+            self._measured_blocks(profile, record),
+            order,
+            record.order_seed,
+            normalized_blocks=(
+                profile.mutable_blocks if record.normalized else None
+            ),
+        )
+
+    def verify_record(self, record: MeasurementRecord) -> Verdict:
+        """HEALTHY iff the record's digest matches the reference state.
+
+        A shipped copy of D may only cover blocks the verifier knows to
+        be mutable: a prover substituting *code* blocks this way is
+        trying to launder malware as data and is flagged outright.
+        """
+        profile = self.profile(record.device)
+        if record.data_copy:
+            for block_index, _content in record.data_copy:
+                if block_index not in profile.mutable_blocks:
+                    return Verdict.COMPROMISED
+        if self.expected_for(record) == record.digest:
+            return Verdict.HEALTHY
+        return Verdict.COMPROMISED
+
+    def verify_report(
+        self,
+        report: AttestationReport,
+        expected_nonce: Optional[bytes] = None,
+        enforce_counter: bool = False,
+        counter_stream: str = "default",
+    ) -> VerificationResult:
+        """Full report verification: authenticity, replay, then state.
+
+        ``expected_nonce``: require the newest record to answer this
+        challenge (on-demand mode).  ``enforce_counter``: require the
+        report's ``sent_counter`` to strictly increase within
+        ``counter_stream`` (SeED pushes and ERASMUS collections are
+        independent sequences on the same prover).
+        """
+        profile = self.profile(report.device)
+        now = self.sim.now
+
+        def conclude(verdict: Verdict, detail: str,
+                     record_verdicts: Optional[List[Verdict]] = None,
+                     freshness: Optional[float] = None) -> VerificationResult:
+            result = VerificationResult(
+                verdict=verdict,
+                device=report.device,
+                verified_at=now,
+                detail=detail,
+                record_verdicts=record_verdicts or [],
+                freshness=freshness,
+            )
+            self.results.append(result)
+            if self.trace is not None:
+                self.trace.record(
+                    now, "vrf.verdict", self.name,
+                    device=report.device, verdict=verdict.value,
+                )
+            return result
+
+        if not report.records:
+            return conclude(Verdict.INVALID, "empty report")
+        if not report.verify_tag(profile.key):
+            return conclude(Verdict.INVALID, "bad authentication tag")
+
+        if report.scheme:
+            from repro.ra.signing import verify_data
+
+            identity = profile.public_identity
+            if identity is None or identity.scheme != report.scheme:
+                return conclude(
+                    Verdict.INVALID,
+                    f"no public key for scheme {report.scheme!r}",
+                )
+            if not verify_data(
+                identity, report.signing_input(), report.signature
+            ):
+                return conclude(Verdict.INVALID, "bad signature")
+
+        if enforce_counter:
+            last = profile.last_counters.get(counter_stream, -1)
+            if report.sent_counter <= last:
+                return conclude(
+                    Verdict.REPLAY,
+                    f"counter {report.sent_counter} <= {last} "
+                    f"in stream {counter_stream!r}",
+                )
+            profile.last_counters[counter_stream] = report.sent_counter
+
+        if expected_nonce is not None:
+            if report.newest.nonce != expected_nonce:
+                return conclude(Verdict.REPLAY, "nonce mismatch")
+            if expected_nonce in self._seen_nonces[report.device]:
+                return conclude(Verdict.REPLAY, "nonce already used")
+            self._seen_nonces[report.device].add(expected_nonce)
+
+        record_verdicts = [self.verify_record(r) for r in report.records]
+        freshness = now - report.newest.t_end
+        bad = sum(1 for v in record_verdicts if v is not Verdict.HEALTHY)
+        if bad:
+            return conclude(
+                Verdict.COMPROMISED,
+                f"{bad}/{len(record_verdicts)} measurements diverge "
+                "from reference",
+                record_verdicts, freshness,
+            )
+        return conclude(
+            Verdict.HEALTHY,
+            f"{len(record_verdicts)} measurement(s) match reference",
+            record_verdicts, freshness,
+        )
+
+    # -- statistics -----------------------------------------------------------
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            key = result.verdict.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,204 @@
+"""Event queue and simulation clock.
+
+The engine is a classic discrete-event simulator: a priority queue of
+``(time, sequence, callback)`` entries and a clock that jumps from event
+to event.  Everything in the reproduction -- CPU scheduling, network
+delivery, self-measurement timers -- is built on :class:`Simulator`.
+
+Determinism
+-----------
+Two runs with the same inputs produce identical traces: ties in event
+time are broken by a monotonically increasing sequence number, and the
+engine itself uses no global randomness.  Components that need
+randomness take an explicit :class:`random.Random` (or the package's
+HMAC-DRBG) so experiments are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SchedulingError
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Returned by :meth:`Simulator.schedule`.  Cancelling is O(1): the
+    entry stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Discrete-event simulation core.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "one second elapsed")
+        sim.run()
+
+    The clock starts at 0.0 and only moves forward.  ``run`` drains the
+    queue or stops at ``until``; ``step`` executes exactly one event.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+
+    # -- scheduling ---------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule at {time!r}, before current time {self.now!r}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    # -- execution ----------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event.  Return ``False`` if none remain."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        Returns the simulation time at which the run stopped.  When
+        ``until`` is given and events remain beyond it, the clock is
+        advanced exactly to ``until`` (so back-to-back ``run`` calls
+        compose).
+        """
+        if self._running:
+            raise SchedulingError("run() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._queue)
+                self.now = head.time
+                head.callback(*head.args)
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        """Stop a ``run`` in progress after the current event returns."""
+        self._stopped = True
+
+    # -- introspection ------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        for handle in sorted(self._queue):
+            if not handle.cancelled:
+                return handle.time
+        return None
+
+
+class Signal:
+    """A broadcast condition: processes wait, someone fires.
+
+    ``fire(value)`` wakes every current waiter at the *current* time
+    (callbacks are scheduled with zero delay so firing from inside an
+    event keeps the event loop's ordering guarantees).  Waiters that
+    subscribe after a fire do not see it -- a Signal is an edge, not a
+    level.  :attr:`fire_count` supports level-style checks by callers.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.fire_count = 0
+        self.last_value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)`` to run at the next fire."""
+        self._waiters.append(callback)
+
+    def unwait(self, callback: Callable[[Any], None]) -> None:
+        """Remove a previously registered waiter (no-op if absent)."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters with ``value``.  Returns waiter count."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.sim.schedule(0.0, callback, value)
+        return len(waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Signal {self.name!r} waiters={len(self._waiters)} "
+            f"fires={self.fire_count}>"
+        )

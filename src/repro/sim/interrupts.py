@@ -1,0 +1,95 @@
+"""Interrupt controller: IRQ lines, handlers and masking.
+
+SMART's atomicity is implemented on real MCUs by *disabling interrupts*
+as the first instruction of the attestation code (Section 3.1).  In the
+simulator that masking already exists as the CPU's atomic flag; this
+module adds the asynchronous entry point: an IRQ line that, when
+raised, spawns its handler as a high-priority process.  While the CPU
+is held atomically the handler simply stays READY -- exactly the
+pending-interrupt latency the fire-alarm scenario worries about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator
+
+from repro.errors import ConfigurationError
+from repro.sim.process import CPU, Process
+
+
+@dataclass
+class IrqStats:
+    """Latency accounting for one IRQ line."""
+
+    raised: int = 0
+    handled: int = 0
+    worst_latency: float = 0.0
+    total_latency: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        if self.handled == 0:
+            return 0.0
+        return self.total_latency / self.handled
+
+
+class IrqLine:
+    """One interrupt source with a registered handler."""
+
+    def __init__(
+        self,
+        name: str,
+        handler: Callable[[Process, object], Generator],
+        priority: int,
+    ) -> None:
+        self.name = name
+        self.handler = handler
+        self.priority = priority
+        self.stats = IrqStats()
+
+
+class InterruptController:
+    """Dispatches IRQs as one-shot handler processes on the CPU.
+
+    Handlers run at their line's priority; the fixed-priority scheduler
+    (and any atomic section in force) decides when they actually get
+    the CPU.  The controller records raise-to-handle latency per line.
+    """
+
+    def __init__(self, cpu: CPU) -> None:
+        self.cpu = cpu
+        self.lines: Dict[str, IrqLine] = {}
+
+    def register(
+        self,
+        name: str,
+        handler: Callable[[Process, object], Generator],
+        priority: int = 100,
+    ) -> IrqLine:
+        """Attach ``handler(proc, payload)`` to a new line ``name``."""
+        if name in self.lines:
+            raise ConfigurationError(f"IRQ line {name!r} already registered")
+        line = IrqLine(name, handler, priority)
+        self.lines[name] = line
+        return line
+
+    def raise_irq(self, name: str, payload: object = None) -> Process:
+        """Fire line ``name``: spawn its handler, record latency on entry."""
+        line = self.lines.get(name)
+        if line is None:
+            raise ConfigurationError(f"unknown IRQ line {name!r}")
+        line.stats.raised += 1
+        raised_at = self.cpu.sim.now
+
+        def body(proc: Process, _line=line, _raised=raised_at, _payload=payload):
+            latency = self.cpu.sim.now - _raised
+            _line.stats.handled += 1
+            _line.stats.total_latency += latency
+            if latency > _line.stats.worst_latency:
+                _line.stats.worst_latency = latency
+            yield from _line.handler(proc, _payload)
+
+        return self.cpu.spawn(
+            f"irq.{name}.{line.stats.raised}", body, priority=line.priority
+        )

@@ -1,0 +1,237 @@
+"""Verifier <-> prover communication with latency and adversaries.
+
+On-demand RA (Figure 1) begins with a network round trip, and SeED
+(Section 3.3) must survive a *communication adversary* that drops
+attestation responses.  This module provides:
+
+* :class:`Endpoint` -- a named mailbox with an arrival signal;
+* :class:`Channel` -- a bidirectional link with a latency model;
+* :class:`DropAdversary` / :class:`DelayAdversary` / :class:`ReplayAdversary`
+  -- in-path filters used by the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Signal, Simulator
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message."""
+
+    msg_id: int
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    sent_at: float
+
+
+class Endpoint:
+    """A named mailbox attached to a channel.
+
+    Processes consume messages by waiting on :attr:`rx_signal` and then
+    draining :meth:`receive`.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.inbox: List[Message] = []
+        self.rx_signal = Signal(sim, f"{name}.rx")
+        self.channel: Optional["Channel"] = None
+        self.received_count = 0
+
+    def send(self, dst: str, kind: str, payload: Any) -> Message:
+        """Send via the attached channel."""
+        if self.channel is None:
+            raise ConfigurationError(f"endpoint {self.name!r} not attached")
+        return self.channel.send(self.name, dst, kind, payload)
+
+    def deliver(self, message: Message) -> None:
+        """Called by the channel when a message arrives here."""
+        self.inbox.append(message)
+        self.received_count += 1
+        self.rx_signal.fire(message)
+
+    def receive(self) -> Optional[Message]:
+        """Pop the oldest pending message, or ``None``."""
+        if not self.inbox:
+            return None
+        return self.inbox.pop(0)
+
+    def drain(self) -> List[Message]:
+        """Pop every pending message."""
+        messages, self.inbox = self.inbox, []
+        return messages
+
+
+class Channel:
+    """A link between named endpoints with latency and optional filters.
+
+    ``latency`` may be a constant (seconds) or a callable
+    ``latency(message) -> float``.  Filters see each message before
+    delivery and return the delivery delay, ``None`` to drop, or a list
+    of ``(delay, message)`` pairs to duplicate/mutate (used by the
+    replay adversary).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Any = 0.005,
+        trace: Optional[Any] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.trace = trace
+        self.endpoints: Dict[str, Endpoint] = {}
+        self.filters: List[Callable[[Message], Any]] = []
+        self.log: List[Message] = []
+        self.dropped: List[Message] = []
+        self._ids = itertools.count(1)
+
+    def attach(self, endpoint: Endpoint) -> Endpoint:
+        if endpoint.name in self.endpoints:
+            raise ConfigurationError(
+                f"endpoint name {endpoint.name!r} already attached"
+            )
+        self.endpoints[endpoint.name] = endpoint
+        endpoint.channel = self
+        return endpoint
+
+    def make_endpoint(self, name: str) -> Endpoint:
+        """Create and attach an endpoint in one step."""
+        return self.attach(Endpoint(self.sim, name))
+
+    def add_filter(self, filter_fn: Callable[[Message], Any]) -> None:
+        self.filters.append(filter_fn)
+
+    def _base_latency(self, message: Message) -> float:
+        if callable(self.latency):
+            return float(self.latency(message))
+        return float(self.latency)
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> Message:
+        if dst not in self.endpoints:
+            raise ConfigurationError(f"unknown destination {dst!r}")
+        message = Message(
+            next(self._ids), src, dst, kind, payload, self.sim.now
+        )
+        self.log.append(message)
+        deliveries = [(self._base_latency(message), message)]
+        for filter_fn in self.filters:
+            next_deliveries = []
+            for delay, msg in deliveries:
+                verdict = filter_fn(msg)
+                if verdict is None:
+                    self.dropped.append(msg)
+                    if self.trace is not None:
+                        self.trace.record(
+                            self.sim.now, "net.drop", msg.src, msg_kind=msg.kind
+                        )
+                    continue
+                if isinstance(verdict, list):
+                    next_deliveries.extend(verdict)
+                else:
+                    next_deliveries.append((float(verdict), msg))
+            deliveries = next_deliveries
+        for delay, msg in deliveries:
+            self.sim.schedule(delay, self.endpoints[msg.dst].deliver, msg)
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now,
+                    "net.send",
+                    msg.src,
+                    dst=msg.dst,
+                    msg_kind=msg.kind,
+                    delay=round(delay, 6),
+                )
+        return message
+
+
+class DropAdversary:
+    """Drops matching messages with a given probability.
+
+    The SeED communication adversary: suppress attestation responses so
+    the verifier never learns the prover was dirty.
+    """
+
+    def __init__(
+        self,
+        probability: float = 1.0,
+        kind: Optional[str] = None,
+        rng: Optional[random.Random] = None,
+        base_latency: float = 0.005,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("probability must be in [0, 1]")
+        self.probability = probability
+        self.kind = kind
+        self.rng = rng if rng is not None else random.Random(0)
+        self.base_latency = base_latency
+        self.dropped_count = 0
+
+    def __call__(self, message: Message) -> Optional[float]:
+        if self.kind is not None and message.kind != self.kind:
+            return self.base_latency
+        if self.rng.random() < self.probability:
+            self.dropped_count += 1
+            return None
+        return self.base_latency
+
+
+class DelayAdversary:
+    """Adds a fixed extra delay to matching messages (request deferral
+    in Figure 1's timeline)."""
+
+    def __init__(
+        self, extra_delay: float, kind: Optional[str] = None,
+        base_latency: float = 0.005,
+    ) -> None:
+        if extra_delay < 0:
+            raise ConfigurationError("extra_delay must be non-negative")
+        self.extra_delay = extra_delay
+        self.kind = kind
+        self.base_latency = base_latency
+
+    def __call__(self, message: Message) -> float:
+        if self.kind is not None and message.kind != self.kind:
+            return self.base_latency
+        return self.base_latency + self.extra_delay
+
+
+class ReplayAdversary:
+    """Records matching messages and re-injects each one ``copies``
+    times after ``replay_delay`` -- the attack SeED's monotonic
+    counters must defeat."""
+
+    def __init__(
+        self,
+        kind: str,
+        replay_delay: float = 1.0,
+        copies: int = 1,
+        base_latency: float = 0.005,
+    ) -> None:
+        self.kind = kind
+        self.replay_delay = replay_delay
+        self.copies = copies
+        self.base_latency = base_latency
+        self.captured: List[Message] = []
+
+    def __call__(self, message: Message):
+        if message.kind != self.kind:
+            return self.base_latency
+        self.captured.append(message)
+        deliveries = [(self.base_latency, message)]
+        for copy_index in range(1, self.copies + 1):
+            deliveries.append(
+                (self.base_latency + copy_index * self.replay_delay, message)
+            )
+        return deliveries

@@ -1,0 +1,397 @@
+"""Generator-coroutine processes on a single preemptible CPU.
+
+The paper's central tension is *who holds the CPU*: an atomic
+measurement process (MP) that masks interrupts keeps a safety-critical
+task off the CPU for seconds (Section 2.5), while an interruptible MP
+yields quickly but opens the door to roving malware (Section 3).
+
+This module models exactly that.  A :class:`CPU` schedules
+:class:`Process` objects by fixed priority with preemption.  A process
+body is a generator that yields commands:
+
+``Compute(duration)``
+    Occupy the CPU for ``duration`` simulated seconds.  Preemptible by
+    a strictly higher-priority process -- unless the process holds the
+    CPU atomically.
+``Sleep(duration)``
+    Release the CPU and wake after ``duration``.
+``WaitSignal(signal)``
+    Release the CPU until ``signal`` fires; the fired value is sent
+    back into the generator.
+``Atomic(True/False)``
+    Mask / unmask preemption (models SMART's "disable interrupts as the
+    first step of MP").  Sleeping or waiting while atomic is an error:
+    real attestation code that masked interrupts cannot block.
+``Yield()``
+    Cooperative reschedule point: lets an equal-priority ready process
+    run (round-robin hand-off).
+
+Code between yields runs as an instantaneous side effect at the current
+simulation time -- the standard discrete-event coroutine convention.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import ProcessError
+from repro.sim.engine import EventHandle, Signal, Simulator
+
+
+class Compute:
+    """Occupy the CPU for ``duration`` seconds of work."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ProcessError(f"negative compute duration {duration!r}")
+        self.duration = duration
+
+
+class Sleep:
+    """Release the CPU; become ready again after ``duration`` seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ProcessError(f"negative sleep duration {duration!r}")
+        self.duration = duration
+
+
+class WaitSignal:
+    """Release the CPU until ``signal`` fires."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+
+
+class Atomic:
+    """Enter (``True``) or leave (``False``) an uninterruptible section."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+
+class Yield:
+    """Cooperatively offer the CPU to an equal-priority ready process."""
+
+    __slots__ = ()
+
+
+class ProcState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    WAITING = "waiting"
+    DONE = "done"
+
+
+class Process:
+    """A schedulable coroutine with a fixed priority.
+
+    Higher ``priority`` values run first.  Equal priorities do not
+    preempt each other.  ``body`` is a generator function called with
+    the process itself, e.g.::
+
+        def body(proc):
+            yield Compute(0.5)
+            proc.log.append(proc.cpu.sim.now)
+
+        cpu.spawn("app", body, priority=10)
+
+    Accounting fields (``cpu_time``, ``max_response``, ...) feed the
+    availability metrics in :mod:`repro.apps.metrics`.
+    """
+
+    def __init__(
+        self,
+        cpu: "CPU",
+        name: str,
+        body: Callable[["Process"], Generator],
+        priority: int = 0,
+    ) -> None:
+        self.cpu = cpu
+        self.name = name
+        self.priority = priority
+        self.state = ProcState.NEW
+        self.atomic = False
+        self.done_signal = Signal(cpu.sim, f"{name}.done")
+        self.result: Any = None
+
+        self._generator: Optional[Generator] = None
+        self._body = body
+        self._remaining: float = 0.0
+        self._run_start: float = 0.0
+        self._ready_since: float = 0.0
+        self._completion: Optional[EventHandle] = None
+        self._wake_event: Optional[EventHandle] = None
+        self._ready_seq: int = 0
+        self._pending_value: Any = None
+
+        # accounting
+        self.cpu_time: float = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.preemption_count: int = 0
+        self.dispatch_count: int = 0
+        self.response_total: float = 0.0
+        self.response_max: float = 0.0
+        self.response_samples: int = 0
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ProcState.NEW, ProcState.DONE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Process {self.name!r} prio={self.priority} "
+            f"state={self.state.value}>"
+        )
+
+    # -- internal accounting hooks ---------------------------------------
+
+    def _became_ready(self, now: float) -> None:
+        self.state = ProcState.READY
+        self._ready_since = now
+        self._ready_seq = self.cpu._next_seq()
+
+    def _record_dispatch(self, now: float) -> None:
+        self.dispatch_count += 1
+        latency = now - self._ready_since
+        self.response_total += latency
+        self.response_samples += 1
+        if latency > self.response_max:
+            self.response_max = latency
+
+    @property
+    def response_mean(self) -> float:
+        if self.response_samples == 0:
+            return 0.0
+        return self.response_total / self.response_samples
+
+
+class CPU:
+    """A single core with fixed-priority preemptive scheduling.
+
+    The CPU is deliberately simple: no time slicing, no priority
+    inheritance -- matching the bare-metal / microkernel provers the
+    paper targets (SMART on an MCU, HYDRA on seL4 with a
+    highest-priority attestation process).
+    """
+
+    def __init__(self, sim: Simulator, trace: Optional[Any] = None) -> None:
+        self.sim = sim
+        self.trace = trace
+        self.current: Optional[Process] = None
+        self.processes: List[Process] = []
+        self._seq = 0
+        self._in_advance = False
+        self._dispatch_pending = False
+
+    # -- public API ------------------------------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        body: Callable[[Process], Generator],
+        priority: int = 0,
+        delay: float = 0.0,
+    ) -> Process:
+        """Create a process and make it ready after ``delay`` seconds."""
+        proc = Process(self, name, body, priority)
+        self.processes.append(proc)
+        self.sim.schedule(delay, self._start, proc)
+        return proc
+
+    def idle_fraction(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` during which no process held the CPU."""
+        if elapsed <= 0:
+            return 0.0
+        busy = sum(proc.cpu_time for proc in self.processes)
+        return max(0.0, 1.0 - busy / elapsed)
+
+    # -- internals -------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _emit(self, kind: str, proc: Process, **data: Any) -> None:
+        if self.trace is not None:
+            self.trace.record(self.sim.now, kind, proc.name, **data)
+
+    def _start(self, proc: Process) -> None:
+        if proc.state is not ProcState.NEW:
+            raise ProcessError(f"process {proc.name!r} already started")
+        proc._generator = proc._body(proc)
+        proc.started_at = self.sim.now
+        proc._became_ready(self.sim.now)
+        self._emit("spawn", proc)
+        self._dispatch()
+
+    def _make_ready(self, proc: Process) -> None:
+        proc._became_ready(self.sim.now)
+        self._emit("ready", proc)
+        self._dispatch()
+
+    def _ready_processes(self) -> List[Process]:
+        return [p for p in self.processes if p.state is ProcState.READY]
+
+    def _pick_next(self) -> Optional[Process]:
+        ready = self._ready_processes()
+        if not ready:
+            return None
+        return min(ready, key=lambda p: (-p.priority, p._ready_seq))
+
+    def _dispatch(self) -> None:
+        """Ensure the highest-priority ready/running process holds the CPU."""
+        if self._in_advance:
+            self._dispatch_pending = True
+            return
+        candidate = self._pick_next()
+        if self.current is not None:
+            if candidate is None:
+                return
+            if self.current.atomic:
+                return
+            if candidate.priority <= self.current.priority:
+                return
+            self._preempt(self.current)
+        if candidate is None:
+            return
+        self._run(candidate)
+
+    def _preempt(self, proc: Process) -> None:
+        """Take the CPU away from ``proc`` mid-Compute."""
+        assert proc is self.current
+        elapsed = self.sim.now - proc._run_start
+        proc._remaining = max(0.0, proc._remaining - elapsed)
+        proc.cpu_time += elapsed
+        if proc._completion is not None:
+            proc._completion.cancel()
+            proc._completion = None
+        proc.preemption_count += 1
+        proc._became_ready(self.sim.now)
+        self.current = None
+        self._emit("preempt", proc, remaining=proc._remaining)
+
+    def _run(self, proc: Process) -> None:
+        """Give the CPU to ``proc`` (which must be READY)."""
+        assert proc.state is ProcState.READY
+        proc.state = ProcState.RUNNING
+        proc._record_dispatch(self.sim.now)
+        self.current = proc
+        self._emit("run", proc)
+        if proc._remaining > 0.0:
+            proc._run_start = self.sim.now
+            proc._completion = self.sim.schedule(
+                proc._remaining, self._compute_done, proc
+            )
+        else:
+            value, proc._pending_value = proc._pending_value, None
+            self._advance(proc, value)
+
+    def _compute_done(self, proc: Process) -> None:
+        assert proc is self.current
+        proc.cpu_time += proc._remaining
+        proc._remaining = 0.0
+        proc._completion = None
+        self._advance(proc, None)
+
+    def _release(self, proc: Process) -> None:
+        """Remove ``proc`` from the CPU without making it ready."""
+        if self.current is proc:
+            self.current = None
+
+    def _advance(self, proc: Process, send_value: Any) -> None:
+        """Step the generator until it blocks (Compute/Sleep/Wait) or ends."""
+        self._in_advance = True
+        try:
+            while True:
+                try:
+                    command = proc._generator.send(send_value)
+                except StopIteration as stop:
+                    self._finish(proc, getattr(stop, "value", None))
+                    return
+                send_value = None
+                if isinstance(command, Compute):
+                    proc._remaining = command.duration
+                    proc._run_start = self.sim.now
+                    proc._completion = self.sim.schedule(
+                        command.duration, self._compute_done, proc
+                    )
+                    self._emit("compute", proc, duration=command.duration)
+                    return
+                if isinstance(command, Sleep):
+                    if proc.atomic:
+                        raise ProcessError(
+                            f"{proc.name}: Sleep inside atomic section"
+                        )
+                    self._release(proc)
+                    proc.state = ProcState.SLEEPING
+                    proc._wake_event = self.sim.schedule(
+                        command.duration, self._wake, proc
+                    )
+                    self._emit("sleep", proc, duration=command.duration)
+                    return
+                if isinstance(command, WaitSignal):
+                    if proc.atomic:
+                        raise ProcessError(
+                            f"{proc.name}: WaitSignal inside atomic section"
+                        )
+                    self._release(proc)
+                    proc.state = ProcState.WAITING
+                    command.signal.wait(
+                        lambda value, p=proc: self._signal_wake(p, value)
+                    )
+                    self._emit("wait", proc, signal=command.signal.name)
+                    return
+                if isinstance(command, Atomic):
+                    proc.atomic = command.enabled
+                    self._emit("atomic", proc, enabled=command.enabled)
+                    continue
+                if isinstance(command, Yield):
+                    self._release(proc)
+                    proc._became_ready(self.sim.now)
+                    self._emit("yield", proc)
+                    return
+                raise ProcessError(
+                    f"{proc.name}: yielded unsupported command {command!r}"
+                )
+        finally:
+            self._in_advance = False
+            self._dispatch_pending = False
+            self._dispatch()
+
+    def _wake(self, proc: Process) -> None:
+        proc._wake_event = None
+        if proc.state is not ProcState.SLEEPING:
+            return
+        self._make_ready(proc)
+
+    def _signal_wake(self, proc: Process, value: Any) -> None:
+        if proc.state is not ProcState.WAITING:
+            return
+        proc._became_ready(self.sim.now)
+        proc._pending_value = value
+        self._emit("signalled", proc)
+        self._dispatch()
+
+    def _finish(self, proc: Process, result: Any) -> None:
+        proc.state = ProcState.DONE
+        proc.atomic = False
+        proc.result = result
+        proc.finished_at = self.sim.now
+        self._release(proc)
+        self._emit("done", proc)
+        proc.done_signal.fire(result)

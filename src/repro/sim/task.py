@@ -1,0 +1,190 @@
+"""Periodic real-time tasks with deadline accounting.
+
+The safety-critical side of the paper's conflict (Section 2.5) is a
+periodic sensor/actuator loop: release every period, do a little work,
+meet a deadline.  :class:`PeriodicTask` wraps a job generator in the
+release/deadline bookkeeping and exposes the statistics (response
+times, deadline misses, blocked writes) that the Table 1 "availability"
+and "interruptibility" columns summarize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+from repro.errors import ConfigurationError, MemoryFault
+from repro.sim.memory import Memory
+from repro.sim.process import CPU, Compute, Process, Sleep, WaitSignal
+
+
+@dataclass
+class JobRecord:
+    """Timing of one job instance of a periodic task."""
+
+    index: int
+    release: float
+    start: Optional[float] = None
+    finish: Optional[float] = None
+    deadline: float = 0.0
+    write_faults: int = 0
+
+    @property
+    def response_time(self) -> Optional[float]:
+        if self.finish is None:
+            return None
+        return self.finish - self.release
+
+    @property
+    def missed_deadline(self) -> bool:
+        if self.finish is None:
+            return True  # never finished within the simulation
+        return self.finish > self.deadline
+
+
+@dataclass
+class TaskStats:
+    """Aggregate availability metrics for one task."""
+
+    jobs_released: int = 0
+    jobs_finished: int = 0
+    deadline_misses: int = 0
+    worst_response: float = 0.0
+    total_response: float = 0.0
+    write_faults: int = 0
+
+    @property
+    def mean_response(self) -> float:
+        if self.jobs_finished == 0:
+            return 0.0
+        return self.total_response / self.jobs_finished
+
+    @property
+    def miss_rate(self) -> float:
+        if self.jobs_released == 0:
+            return 0.0
+        return self.deadline_misses / self.jobs_released
+
+
+class PeriodicTask:
+    """A periodic task on the device CPU.
+
+    ``job`` is a generator function ``job(proc, task, job_index)``
+    yielding scheduler commands (usually a single ``Compute(wcet)``
+    plus some memory writes).  If ``job`` is ``None``, a default job of
+    ``Compute(wcet)`` is used.
+
+    The task releases at ``offset``, ``offset + period``, ... and its
+    relative deadline defaults to the period (implicit deadlines).
+    Releases are strictly periodic: a job that overruns delays the next
+    job's *start*, not its release or deadline (standard real-time
+    semantics), so overload shows up as deadline misses.
+    """
+
+    def __init__(
+        self,
+        cpu: CPU,
+        name: str,
+        period: float,
+        wcet: float,
+        priority: int = 10,
+        deadline: Optional[float] = None,
+        offset: float = 0.0,
+        job: Optional[Callable[[Process, "PeriodicTask", int], Generator]] = None,
+        max_jobs: Optional[int] = None,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        if wcet < 0 or wcet > period:
+            raise ConfigurationError("wcet must be within (0, period]")
+        self.cpu = cpu
+        self.name = name
+        self.period = period
+        self.wcet = wcet
+        self.priority = priority
+        self.deadline = period if deadline is None else deadline
+        self.offset = offset
+        self.max_jobs = max_jobs
+        self.jobs: List[JobRecord] = []
+        self._job_body = job if job is not None else self._default_job
+        self.process = cpu.spawn(name, self._run, priority=priority, delay=0.0)
+
+    # -- job bodies -------------------------------------------------------
+
+    @staticmethod
+    def _default_job(proc: Process, task: "PeriodicTask", index: int):
+        yield Compute(task.wcet)
+
+    def _run(self, proc: Process):
+        sim = self.cpu.sim
+        if self.offset > 0:
+            yield Sleep(self.offset)
+        index = 0
+        while self.max_jobs is None or index < self.max_jobs:
+            release = self.offset + index * self.period
+            if sim.now < release:
+                yield Sleep(release - sim.now)
+            record = JobRecord(
+                index=index, release=release, deadline=release + self.deadline
+            )
+            self.jobs.append(record)
+            record.start = sim.now
+            yield from self._job_body(proc, self, index)
+            record.finish = sim.now
+            index += 1
+
+    # -- statistics ---------------------------------------------------------
+
+    def stats(self, as_of: Optional[float] = None) -> TaskStats:
+        """Aggregate job statistics as of time ``as_of`` (defaults to
+        the current simulation time).
+
+        A job still in flight whose deadline has not yet passed is
+        released-but-pending, not a miss -- otherwise every run would
+        end with one artificial miss per task.
+        """
+        now = self.cpu.sim.now if as_of is None else as_of
+        stats = TaskStats()
+        for record in self.jobs:
+            stats.jobs_released += 1
+            stats.write_faults += record.write_faults
+            if record.finish is None:
+                if now > record.deadline:
+                    stats.deadline_misses += 1
+                continue
+            stats.jobs_finished += 1
+            response = record.response_time or 0.0
+            stats.total_response += response
+            if response > stats.worst_response:
+                stats.worst_response = response
+            if record.missed_deadline:
+                stats.deadline_misses += 1
+        return stats
+
+
+def write_with_retry(
+    proc: Process,
+    memory: Memory,
+    block_index: int,
+    data: bytes,
+    actor: str,
+    record: Optional[JobRecord] = None,
+) -> Generator:
+    """Write a block, waiting on MPU release when the block is locked.
+
+    This is the canonical writer used by workload jobs: it attempts the
+    write; on a :class:`MemoryFault` it blocks on the MPU's release
+    signal and retries.  Each fault is counted on ``record`` so locking
+    mechanisms' availability damage is measurable.
+    """
+    if memory.mpu is None:
+        memory.write(block_index, data, actor)
+        return
+    while True:
+        try:
+            memory.write(block_index, data, actor)
+            return
+        except MemoryFault:
+            if record is not None:
+                record.write_faults += 1
+            yield WaitSignal(memory.mpu.release_signal)

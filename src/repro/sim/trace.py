@@ -1,0 +1,97 @@
+"""Timeline recording.
+
+Figures 1, 4 and 5 of the paper are *timelines*: requests, measurement
+start/end, lock release, infections, detections.  :class:`Trace`
+collects timestamped records from every component so the figure
+benchmarks can print the same timelines from simulation output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timeline event."""
+
+    time: float
+    kind: str
+    source: str
+    data: Dict[str, Any]
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.data.items()))
+        text = f"[{self.time:12.6f}] {self.kind:<12} {self.source}"
+        return f"{text} {extra}" if extra else text
+
+
+class Trace:
+    """An append-only list of :class:`TraceRecord` with query helpers."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: str, source: str, **data: Any) -> None:
+        self.records.append(TraceRecord(time, kind, source, data))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- queries --------------------------------------------------------
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Records matching all provided criteria, in time order."""
+        out = []
+        for rec in self.records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, kind: str, source: Optional[str] = None) -> Optional[TraceRecord]:
+        matches = self.filter(kind=kind, source=source)
+        return matches[0] if matches else None
+
+    def last(self, kind: str, source: Optional[str] = None) -> Optional[TraceRecord]:
+        matches = self.filter(kind=kind, source=source)
+        return matches[-1] if matches else None
+
+    def between(self, t_start: float, t_end: float) -> List[TraceRecord]:
+        return [r for r in self.records if t_start <= r.time <= t_end]
+
+    def kinds(self) -> List[str]:
+        """Distinct record kinds, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for rec in self.records:
+            seen.setdefault(rec.kind, None)
+        return list(seen)
+
+    # -- rendering --------------------------------------------------------
+
+    def render(
+        self, kinds: Optional[Iterable[str]] = None, limit: Optional[int] = None
+    ) -> str:
+        """Human-readable multi-line timeline (used by figure benches)."""
+        wanted = set(kinds) if kinds is not None else None
+        lines = [
+            str(rec)
+            for rec in self.records
+            if wanted is None or rec.kind in wanted
+        ]
+        if limit is not None:
+            lines = lines[:limit]
+        return "\n".join(lines)

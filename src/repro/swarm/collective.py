@@ -1,0 +1,307 @@
+"""SEDA-style spanning-tree collective attestation.
+
+Protocol sketch (after SEDA [2], simplified to the aggregation core):
+
+1. the verifier sends ``swarm_attest`` (a global nonce) to the root;
+2. each node forwards the request to its spanning-tree children and
+   measures itself (an ordinary interruptible MP run);
+3. leaves reply with ``(healthy_count, total_count, digest)``; interior
+   nodes wait for all children, fold the children's aggregates and
+   their own measurement into one MAC'd aggregate, and reply upward;
+4. the verifier checks the root's aggregate: it learns how many swarm
+   members are in a known-good state (SEDA's result granularity) and,
+   in this implementation's verbose mode, which ones diverged.
+
+Each node verifies its *children's* aggregate MACs with pairwise keys
+(we reuse each child's attestation key, which the parent would hold
+after SEDA's join phase).  Self-measurements are honest-device
+verifiable by the global verifier, which knows every node's reference
+image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crypto.hmac import hmac_digest
+from repro.errors import ConfigurationError
+from repro.ra.measurement import MeasurementConfig, MeasurementProcess
+from repro.ra.service import listen
+from repro.ra.verifier import Verifier
+from repro.sim.device import Device
+from repro.sim.network import Message
+from repro.sim.process import Process
+from repro.swarm.topology import SwarmTopology
+
+
+@dataclass
+class NodeAggregate:
+    """What one node reports to its parent."""
+
+    node: str
+    healthy: int
+    total: int
+    dirty_nodes: List[str]
+    tag: bytes
+
+    def tag_input(self, nonce: bytes) -> bytes:
+        body = ",".join(sorted(self.dirty_nodes)).encode()
+        return b"|".join(
+            (
+                self.node.encode(),
+                nonce,
+                self.healthy.to_bytes(4, "big"),
+                self.total.to_bytes(4, "big"),
+                body,
+            )
+        )
+
+
+@dataclass
+class SwarmResult:
+    """Verifier-side outcome of one collective attestation."""
+
+    nonce: bytes
+    healthy: int
+    total: int
+    dirty_nodes: List[str]
+    completed_at: float
+    valid: bool
+    #: True when no root aggregate arrived before the round deadline --
+    #: a dead/partitioned node somewhere in the tree (DARPA's "absence
+    #: detection" concern, at round granularity)
+    timed_out: bool = False
+
+    @property
+    def all_healthy(self) -> bool:
+        return self.valid and not self.timed_out and (
+            self.healthy == self.total
+        )
+
+
+class SwarmNodeService:
+    """Per-node protocol engine."""
+
+    def __init__(
+        self,
+        device: Device,
+        children: List[str],
+        verifier: Verifier,
+        algorithm: str = "blake2s",
+        priority: int = 40,
+    ) -> None:
+        self.device = device
+        self.children = children
+        self.verifier = verifier  # used only to self-check measurements
+        self.config = MeasurementConfig(
+            algorithm=algorithm, order="sequential", atomic=False,
+            priority=priority,
+        )
+        #: a powered-off / crashed / partitioned node stops answering
+        self.online = True
+        self._counter = 0
+        self._collecting: Dict[bytes, dict] = {}
+        listen(device.nic, self._on_message,
+               kinds=frozenset({"swarm_attest", "swarm_reply"}))
+
+    # -- message handling --------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if not self.online:
+            return
+        if message.kind == "swarm_attest":
+            self._start_round(message)
+        elif message.kind == "swarm_reply":
+            self._on_child_reply(message)
+
+    def _start_round(self, message: Message) -> None:
+        payload = message.payload
+        nonce = payload["nonce"]
+        state = {
+            "nonce": nonce,
+            "parent": message.src,
+            "pending": set(self.children),
+            "child_aggs": [],
+            "own": None,
+        }
+        self._collecting[nonce] = state
+        for child in self.children:
+            self.device.nic.send(child, "swarm_attest", {"nonce": nonce})
+        self._counter += 1
+        mp = MeasurementProcess(
+            self.device, self.config, nonce=nonce, counter=self._counter,
+            mechanism="swarm",
+        )
+        proc = self.device.cpu.spawn(
+            f"{self.device.name}.swarm-mp.{self._counter}",
+            mp.run,
+            priority=self.config.priority,
+        )
+
+        def own_done(_record, mp=mp, nonce=nonce) -> None:
+            round_state = self._collecting.get(nonce)
+            if round_state is None:
+                return
+            round_state["own"] = mp.record
+            self._maybe_reply(nonce)
+
+        proc.done_signal.wait(own_done)
+
+    def _on_child_reply(self, message: Message) -> None:
+        aggregate: NodeAggregate = message.payload["aggregate"]
+        nonce = message.payload["nonce"]
+        state = self._collecting.get(nonce)
+        if state is None or aggregate.node not in state["pending"]:
+            return
+        # Parent verifies the child's aggregate MAC (pairwise key from
+        # SEDA's join phase; we reuse the child's attestation key).
+        child_key = self._child_key(aggregate.node)
+        expected = hmac_digest(child_key, aggregate.tag_input(nonce))
+        if expected != aggregate.tag:
+            # A forged aggregate counts its whole subtree as dirty.
+            aggregate = NodeAggregate(
+                node=aggregate.node,
+                healthy=0,
+                total=aggregate.total,
+                dirty_nodes=[aggregate.node + "?forged"],
+                tag=b"",
+            )
+        state["pending"].discard(aggregate.node)
+        state["child_aggs"].append(aggregate)
+        self._maybe_reply(nonce)
+
+    def _child_key(self, child_name: str) -> bytes:
+        profile = self.verifier.devices.get(child_name)
+        if profile is None:
+            raise ConfigurationError(f"unknown child {child_name!r}")
+        return profile.key
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _maybe_reply(self, nonce: bytes) -> None:
+        state = self._collecting.get(nonce)
+        if state is None or state["own"] is None or state["pending"]:
+            return
+        record = state["own"]
+        own_healthy = (
+            self.verifier.verify_record(record).value == "healthy"
+        )
+        healthy = int(own_healthy)
+        total = 1
+        dirty: List[str] = [] if own_healthy else [self.device.name]
+        for child_agg in state["child_aggs"]:
+            healthy += child_agg.healthy
+            total += child_agg.total
+            dirty.extend(child_agg.dirty_nodes)
+        aggregate = NodeAggregate(
+            node=self.device.name,
+            healthy=healthy,
+            total=total,
+            dirty_nodes=sorted(dirty),
+            tag=b"",
+        )
+        aggregate.tag = hmac_digest(
+            self.device.attestation_key, aggregate.tag_input(nonce)
+        )
+        self.device.nic.send(
+            state["parent"], "swarm_reply",
+            {"nonce": nonce, "aggregate": aggregate},
+        )
+        del self._collecting[nonce]
+
+
+class SwarmAttestation:
+    """Verifier-side driver over a :class:`SwarmTopology`."""
+
+    def __init__(
+        self,
+        topology: SwarmTopology,
+        verifier: Verifier,
+        endpoint_name: str = "vrf",
+        algorithm: str = "blake2s",
+    ) -> None:
+        self.topology = topology
+        self.verifier = verifier
+        self.endpoint = topology.channel.make_endpoint(endpoint_name)
+        self.results: List[SwarmResult] = []
+        self._nonce_counter = 0
+        self._outstanding: Dict[bytes, bool] = {}
+        children_map = topology.spanning_tree_children(root=0)
+        self.services = []
+        for index, device in enumerate(topology.devices):
+            verifier.register_from_device(device)
+            self.services.append(
+                SwarmNodeService(
+                    device,
+                    children=[
+                        topology.devices[c].name
+                        for c in children_map[index]
+                    ],
+                    verifier=verifier,
+                    algorithm=algorithm,
+                )
+            )
+        listen(self.endpoint, self._on_message,
+               kinds=frozenset({"swarm_reply"}))
+
+    def attest(self, timeout: Optional[float] = None) -> bytes:
+        """Kick off one collective attestation; returns its nonce.
+
+        ``timeout`` arms a round deadline: if no root aggregate arrives
+        in time, a ``timed_out`` :class:`SwarmResult` is recorded --
+        the verifier's only signal when a node somewhere in the tree is
+        dead or partitioned.
+        """
+        self._nonce_counter += 1
+        nonce = b"swarm" + self._nonce_counter.to_bytes(8, "big")
+        self._outstanding[nonce] = True
+        self.endpoint.send(
+            self.topology.devices[0].name, "swarm_attest", {"nonce": nonce}
+        )
+        if timeout is not None:
+            self.verifier.sim.schedule(timeout, self._deadline, nonce)
+        return nonce
+
+    def _deadline(self, nonce: bytes) -> None:
+        if nonce not in self._outstanding:
+            return  # completed in time
+        del self._outstanding[nonce]
+        self.results.append(
+            SwarmResult(
+                nonce=nonce,
+                healthy=0,
+                total=len(self.topology.devices),
+                dirty_nodes=[],
+                completed_at=self.verifier.sim.now,
+                valid=False,
+                timed_out=True,
+            )
+        )
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind != "swarm_reply":
+            return
+        aggregate: NodeAggregate = message.payload["aggregate"]
+        nonce = message.payload["nonce"]
+        if nonce not in self._outstanding:
+            return
+        del self._outstanding[nonce]
+        root_key = self.topology.devices[0].attestation_key
+        expected = hmac_digest(root_key, aggregate.tag_input(nonce))
+        self.results.append(
+            SwarmResult(
+                nonce=nonce,
+                healthy=aggregate.healthy,
+                total=aggregate.total,
+                dirty_nodes=list(aggregate.dirty_nodes),
+                completed_at=self.verifier.sim.now,
+                valid=expected == aggregate.tag,
+            )
+        )
+
+    def result_for(self, nonce: bytes) -> Optional[SwarmResult]:
+        for result in self.results:
+            if result.nonce == nonce:
+                return result
+        return None

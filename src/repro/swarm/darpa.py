@@ -1,0 +1,215 @@
+"""DARPA-style absence detection (Section 2.1, after [13]).
+
+Remote attestation checks *software* state; a physical attacker simply
+takes the device away, extracts secrets at leisure, and returns it.
+DARPA's observation: extraction takes time, and a device being worked
+on is **absent** -- so neighbours exchanging periodic authenticated
+heartbeats can detect the tell-tale gap.
+
+:class:`HeartbeatProtocol` runs over a :class:`~repro.swarm.topology.
+SwarmTopology`: every node emits a MAC'd heartbeat to each neighbour
+every ``period`` (with per-node phase jitter so the channel isn't
+bursty); each node tracks its neighbours' last-seen times and flags an
+:class:`AbsenceEvent` once ``miss_threshold`` periods elapse in
+silence.  A verifier collects the union of absence logs alongside
+normal attestation.
+
+Heartbeat emission is modelled at the engine level (the CPU cost of a
+32-byte MAC every few seconds is noise next to measurement costs; the
+*protocol* behaviour is what matters here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.crypto.hmac import hmac_digest
+from repro.errors import ConfigurationError
+from repro.ra.service import listen
+from repro.sim.network import Message
+from repro.swarm.topology import SwarmTopology
+
+
+def pairwise_key(key_a: bytes, key_b: bytes) -> bytes:
+    """Symmetric session key for a neighbour pair (order-independent)."""
+    low, high = sorted((key_a, key_b))
+    return hmac_digest(low, high, "sha256")
+
+
+@dataclass(frozen=True)
+class AbsenceEvent:
+    """One detected absence."""
+
+    missing: str
+    detected_by: str
+    detected_at: float
+    last_seen: float
+
+    @property
+    def silence(self) -> float:
+        return self.detected_at - self.last_seen
+
+
+class HeartbeatNode:
+    """Per-node heartbeat engine."""
+
+    def __init__(
+        self,
+        protocol: "HeartbeatProtocol",
+        index: int,
+        neighbours: List[int],
+    ) -> None:
+        self.protocol = protocol
+        self.index = index
+        self.device = protocol.topology.devices[index]
+        self.neighbours = neighbours
+        self.online = True
+        self.last_seen: Dict[int, float] = {}
+        self.heartbeats_sent = 0
+        self.flagged: Set[int] = set()
+        listen(self.device.nic, self._on_message,
+               kinds=frozenset({"heartbeat"}))
+
+    # -- emission ---------------------------------------------------------
+
+    def start(self) -> None:
+        sim = self.device.sim
+        # Per-node phase jitter spreads emissions over the period.
+        phase = (self.index * 0.37) % 1.0 * self.protocol.period
+        sim.schedule(phase, self._tick)
+        sim.schedule(
+            phase + self.protocol.period / 2, self._check_neighbours
+        )
+        for neighbour in self.neighbours:
+            self.last_seen[neighbour] = sim.now
+
+    def _tick(self) -> None:
+        sim = self.device.sim
+        if self.online:
+            for neighbour in self.neighbours:
+                peer = self.protocol.topology.devices[neighbour]
+                key = pairwise_key(
+                    self.device.attestation_key, peer.attestation_key
+                )
+                body = (
+                    self.device.name.encode()
+                    + int(sim.now * 1e6).to_bytes(8, "big")
+                )
+                self.device.nic.send(
+                    peer.name, "heartbeat",
+                    {
+                        "from_index": self.index,
+                        "tag": hmac_digest(key, body),
+                        "body": body,
+                    },
+                )
+                self.heartbeats_sent += 1
+        sim.schedule(self.protocol.period, self._tick)
+
+    # -- reception / detection ----------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if not self.online:
+            return
+        payload = message.payload
+        sender = payload["from_index"]
+        if sender not in self.neighbours:
+            return
+        peer = self.protocol.topology.devices[sender]
+        key = pairwise_key(
+            self.device.attestation_key, peer.attestation_key
+        )
+        if hmac_digest(key, payload["body"]) != payload["tag"]:
+            return  # forged heartbeat: ignore (absence will show)
+        self.last_seen[sender] = self.device.sim.now
+        # A returning neighbour is re-armed for future detection.
+        self.flagged.discard(sender)
+
+    def _check_neighbours(self) -> None:
+        sim = self.device.sim
+        if self.online:
+            deadline = (
+                self.protocol.period * self.protocol.miss_threshold
+            )
+            for neighbour in self.neighbours:
+                if neighbour in self.flagged:
+                    continue
+                silence = sim.now - self.last_seen[neighbour]
+                if silence > deadline:
+                    self.flagged.add(neighbour)
+                    event = AbsenceEvent(
+                        missing=self.protocol.topology.devices[
+                            neighbour
+                        ].name,
+                        detected_by=self.device.name,
+                        detected_at=sim.now,
+                        last_seen=self.last_seen[neighbour],
+                    )
+                    self.protocol.absences.append(event)
+        sim.schedule(self.protocol.period, self._check_neighbours)
+
+
+class HeartbeatProtocol:
+    """Swarm-wide absence detection."""
+
+    def __init__(
+        self,
+        topology: SwarmTopology,
+        period: float = 1.0,
+        miss_threshold: int = 3,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError("heartbeat period must be positive")
+        if miss_threshold < 1:
+            raise ConfigurationError("miss_threshold must be >= 1")
+        self.topology = topology
+        self.period = period
+        self.miss_threshold = miss_threshold
+        self.absences: List[AbsenceEvent] = []
+        self.nodes = [
+            HeartbeatNode(self, index, topology.neighbours(index))
+            for index in range(len(topology.devices))
+        ]
+
+    def start(self) -> None:
+        for node in self.nodes:
+            node.start()
+
+    # -- physical attack modelling ----------------------------------------
+
+    def remove_device(self, index: int, at: float) -> None:
+        """The physical attacker unplugs device ``index`` at ``at``."""
+        self.topology.sim.schedule_at(
+            at, lambda: setattr(self.nodes[index], "online", False)
+        )
+
+    def return_device(self, index: int, at: float) -> None:
+        """...and quietly returns it later."""
+        self.topology.sim.schedule_at(
+            at, lambda: setattr(self.nodes[index], "online", True)
+        )
+
+    # -- verifier-side queries ------------------------------------------------
+
+    def missing_devices(self) -> List[str]:
+        """Devices some neighbour currently flags as absent."""
+        return sorted(
+            {event.missing for event in self.absences
+             if any(
+                 self.topology.device_index(event.missing)
+                 in node.flagged
+                 for node in self.nodes
+             )}
+        )
+
+    def detection_latency(self, device_name: str) -> Optional[float]:
+        """Removal-to-first-detection latency for one device."""
+        events = [
+            event for event in self.absences
+            if event.missing == device_name
+        ]
+        if not events:
+            return None
+        first = min(events, key=lambda event: event.detected_at)
+        return first.detected_at - first.last_seen

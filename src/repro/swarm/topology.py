@@ -1,0 +1,179 @@
+"""Swarm topologies: device graphs with hop-count latency.
+
+Builds a population of simulated :class:`~repro.sim.device.Device`
+objects connected by one shared :class:`~repro.sim.network.Channel`
+whose latency between two endpoints is ``per_hop_latency`` times their
+hop distance in the topology graph -- a standard abstraction for
+multi-hop mesh networks in swarm-attestation papers.
+
+Graph construction uses :mod:`networkx` when available and falls back
+to built-in generators for the named shapes otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel, Message
+
+try:  # networkx is available in the evaluation environment
+    import networkx as nx
+except ImportError:  # pragma: no cover - degraded mode
+    nx = None
+
+
+def _edges_for(shape: str, count: int, seed: int) -> List[Tuple[int, int]]:
+    """Edge list for a named topology over nodes 0..count-1 (0 = root)."""
+    if count < 1:
+        raise ConfigurationError("need at least one node")
+    if shape == "star":
+        return [(0, i) for i in range(1, count)]
+    if shape == "line":
+        return [(i, i + 1) for i in range(count - 1)]
+    if shape == "tree":  # binary tree rooted at 0
+        return [((i - 1) // 2, i) for i in range(1, count)]
+    if shape == "random":
+        if nx is None:
+            raise ConfigurationError("random topology requires networkx")
+        graph = nx.connected_watts_strogatz_graph(
+            count, k=min(4, max(2, count - 1)), p=0.3, seed=seed
+        )
+        return list(graph.edges())
+    raise ConfigurationError(
+        f"unknown topology shape {shape!r}; "
+        "use star / line / tree / random"
+    )
+
+
+@dataclass
+class SwarmTopology:
+    """A population of devices plus their connectivity graph."""
+
+    sim: Simulator
+    devices: List[Device]
+    edges: List[Tuple[int, int]]
+    channel: Channel
+    per_hop_latency: float
+    _distances: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._compute_distances()
+
+    def _compute_distances(self) -> None:
+        """All-pairs hop distances (BFS per node; swarms are small)."""
+        adjacency: Dict[int, List[int]] = {
+            i: [] for i in range(len(self.devices))
+        }
+        for a, b in self.edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        for source in adjacency:
+            seen = {source: 0}
+            frontier = [source]
+            while frontier:
+                next_frontier = []
+                for node in frontier:
+                    for neighbour in adjacency[node]:
+                        if neighbour not in seen:
+                            seen[neighbour] = seen[node] + 1
+                            next_frontier.append(neighbour)
+                frontier = next_frontier
+            for target, hops in seen.items():
+                self._distances[(source, target)] = hops
+
+    # -- queries --------------------------------------------------------
+
+    def hop_distance(self, a: int, b: int) -> int:
+        distance = self._distances.get((a, b))
+        if distance is None:
+            raise ConfigurationError(f"nodes {a} and {b} are disconnected")
+        return distance
+
+    def neighbours(self, node: int) -> List[int]:
+        out = []
+        for a, b in self.edges:
+            if a == node:
+                out.append(b)
+            elif b == node:
+                out.append(a)
+        return sorted(set(out))
+
+    def spanning_tree_children(self, root: int = 0) -> Dict[int, List[int]]:
+        """BFS spanning tree as a parent -> children map."""
+        children: Dict[int, List[int]] = {
+            i: [] for i in range(len(self.devices))
+        }
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbour in self.neighbours(node):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        children[node].append(neighbour)
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return children
+
+    def device_index(self, name: str) -> int:
+        for index, device in enumerate(self.devices):
+            if device.name == name:
+                return index
+        raise ConfigurationError(f"no device named {name!r}")
+
+
+def make_topology(
+    sim: Simulator,
+    count: int,
+    shape: str = "tree",
+    per_hop_latency: float = 0.002,
+    block_count: int = 16,
+    block_size: int = 32,
+    seed: int = 7,
+) -> SwarmTopology:
+    """Build ``count`` devices wired by a named topology."""
+    devices = [
+        Device(
+            sim,
+            name=f"node{i}",
+            block_count=block_count,
+            block_size=block_size,
+            seed=seed + i,
+        )
+        for i in range(count)
+    ]
+    edges = _edges_for(shape, count, seed)
+
+    topology_holder: List[Optional[SwarmTopology]] = [None]
+
+    def latency(message: Message) -> float:
+        topology = topology_holder[0]
+        assert topology is not None
+        try:
+            src = topology.device_index(message.src)
+        except ConfigurationError:
+            src = 0  # external verifier talks through the root
+        try:
+            dst = topology.device_index(message.dst)
+        except ConfigurationError:
+            dst = 0
+        hops = max(1, topology.hop_distance(src, dst))
+        return hops * per_hop_latency
+
+    channel = Channel(sim, latency=latency)
+    for device in devices:
+        device.attach_network(channel)
+    topology = SwarmTopology(
+        sim=sim,
+        devices=devices,
+        edges=edges,
+        channel=channel,
+        per_hop_latency=per_hop_latency,
+    )
+    topology_holder[0] = topology
+    return topology

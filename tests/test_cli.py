@@ -1,0 +1,83 @@
+"""The command-line experiment driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--memory", "8MiB"]) == 0
+        out = capsys.readouterr().out
+        assert "t_s" in out and "verdict" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out and "OK" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "SMARM" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "dec-lock" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--tm", "4", "--tc", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "DETECTED" in out and "undetected" in out
+
+    def test_smarm(self, capsys):
+        assert main(["smarm", "--blocks", "32", "--trials", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "e^-1" in out
+
+    def test_firealarm_small_memory(self, capsys):
+        assert main(["firealarm", "--memory", "64MiB"]) == 0
+        out = capsys.readouterr().out
+        assert "alarm latency" in out
+
+
+class TestArgHandling:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+
+
+class TestExtensionCommands:
+    def test_swarm(self, capsys):
+        from repro.cli import main
+
+        assert main(["swarm", "--count", "7", "--infect", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "healthy         : 6/7" in out
+        assert "node3" in out
+
+    def test_swarm_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["swarm", "--count", "5", "--shape", "star",
+                     "--infect"]) == 0
+        out = capsys.readouterr().out
+        assert "5/5" in out
+
+    def test_swatt(self, capsys):
+        from repro.cli import main
+
+        assert main(["swatt"]) == 0
+        out = capsys.readouterr().out
+        assert "honest device" in out and "ACCEPTED" in out
+        assert "redirecting malware" in out and "rejected" in out

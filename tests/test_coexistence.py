@@ -1,0 +1,117 @@
+"""Multiple attestation services sharing one prover.
+
+ERASMUS explicitly composes with on-demand attestation (Section 3.3:
+"measurements can be made on Prv based on a schedule *as well as* when
+receiving a query"), and a deployment may run SeED pushes alongside.
+These tests pin down the interactions -- in particular that the
+verifier keeps independent monotonic-counter streams per protocol
+(regression: a shared counter made ERASMUS collections look like
+replays of SeED pushes).
+"""
+
+import pytest
+
+from repro.malware.transient import TransientMalware
+from repro.ra.erasmus import CollectorVerifier, ErasmusService
+from repro.ra.measurement import MeasurementConfig
+from repro.ra.report import Verdict
+from repro.ra.seed import SeedMonitor, SeedService
+from repro.ra.smart import SmartAttestation
+from repro.ra.service import OnDemandVerifier
+from repro.ra.verifier import Verifier
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel
+
+
+def triple_stack():
+    """One device running ERASMUS + SeED + on-demand SMART."""
+    sim = Simulator()
+    device = Device(sim, block_count=16, block_size=32)
+    device.standard_layout()
+    channel = Channel(sim, latency=0.002)
+    device.attach_network(channel)
+    verifier = Verifier(sim)
+    verifier.register_from_device(device)
+
+    erasmus = ErasmusService(
+        device, period=5.0,
+        config=MeasurementConfig(atomic=True, priority=50,
+                                 normalize_mutable=True),
+    )
+    erasmus.start()
+    collector = CollectorVerifier(verifier, channel,
+                                  endpoint_name="vrf-collect")
+
+    shared_seed = b"coexistence-seed"
+    seed = SeedService(device, shared_seed, verifier_name="vrf-push",
+                       min_gap=7.0, max_gap=11.0, trigger_count=5)
+    monitor = SeedMonitor(verifier, channel, device.name, shared_seed,
+                          min_gap=7.0, max_gap=11.0, trigger_count=5,
+                          grace=2.0, endpoint_name="vrf-push")
+    seed.start()
+
+    smart = SmartAttestation(device)
+    smart.config.normalize_mutable = True
+    smart.install()
+    driver = OnDemandVerifier(verifier, channel,
+                              endpoint_name="vrf-ondemand")
+    return sim, device, verifier, collector, monitor, driver
+
+
+class TestCounterStreamIsolation:
+    def test_interleaved_protocols_no_false_replays(self):
+        sim, device, verifier, collector, monitor, driver = triple_stack()
+        collector.collect_every(device.name, period=15.0, count=3)
+        exchanges = []
+        for at in (3.0, 23.0, 43.0):
+            sim.schedule_at(
+                at,
+                lambda: exchanges.append(driver.request(device.name)),
+            )
+        sim.run(until=60.0)
+
+        # Every protocol completed and nothing was misflagged.
+        assert len(collector.collections) == 3
+        assert monitor.missing_count() == 0
+        assert all(e.result is not None for e in exchanges)
+        replays = [
+            r for r in verifier.results if r.verdict is Verdict.REPLAY
+        ]
+        assert replays == []
+        healthy = [
+            r for r in verifier.results if r.verdict is Verdict.HEALTHY
+        ]
+        # 3 collections + 5 pushes + 3 on-demand
+        assert len(healthy) == 11
+
+    def test_infection_caught_by_all_three(self):
+        sim, device, verifier, collector, monitor, driver = triple_stack()
+        # Resident dwell covering collections, pushes and a challenge.
+        TransientMalware(device, target_block=2, infect_at=12.0,
+                         leave_at=32.0)
+        collector.collect_every(device.name, period=15.0, count=3)
+        exchanges = []
+        sim.schedule_at(
+            20.0, lambda: exchanges.append(driver.request(device.name))
+        )
+        sim.run(until=60.0)
+
+        assert any(
+            c.result.verdict is Verdict.COMPROMISED
+            for c in collector.collections
+        )
+        assert "compromised" in monitor.verdict_series()
+        assert exchanges[0].result.verdict is Verdict.COMPROMISED
+
+    def test_erasmus_replay_still_caught_within_its_stream(self):
+        sim, device, verifier, collector, monitor, driver = triple_stack()
+        collector.collect_every(device.name, period=10.0, count=2)
+        sim.run(until=30.0)
+        assert len(collector.collections) == 2
+        first_report = collector.collections[0].report
+        replay = verifier.verify_report(
+            first_report, enforce_counter=True,
+            counter_stream="erasmus-collect",
+        )
+        assert replay.verdict is Verdict.REPLAY

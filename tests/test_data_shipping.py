@@ -1,0 +1,142 @@
+"""Section 2.3's two treatments of the high-entropy data region D.
+
+"Prv can return the fixed-size measurement result produced by MP over
+M, accompanied by a copy of D. ... Furthermore, if content of D is
+irrelevant to Vrf, Prv can easily zero it out."
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ra.measurement import MeasurementConfig, MeasurementProcess
+from repro.ra.report import Verdict
+from repro.ra.verifier import Verifier
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+
+
+def measured(device, verifier, nonce=b"d", **config_kwargs):
+    config = MeasurementConfig(**config_kwargs)
+    mp = MeasurementProcess(device, config, nonce=nonce)
+    device.cpu.spawn("mp", mp.run, priority=50)
+    device.sim.run(until=device.sim.now + 100)
+    return mp.record
+
+
+def rig():
+    sim = Simulator()
+    device = Device(sim, block_count=8, block_size=32)
+    device.standard_layout()
+    verifier = Verifier(sim)
+    verifier.register_from_device(device)
+    return device, verifier
+
+
+class TestAttachMutable:
+    def test_dirty_data_verifies_with_copy(self):
+        """App writes to D no longer read as compromise: the verifier
+        reproduces the digest from the shipped copy."""
+        device, verifier = rig()
+        data_block = device.memory.regions["data"].start
+        device.memory.write(data_block, b"\x21" * 32, "app")
+        record = measured(device, verifier, attach_mutable=True)
+        assert verifier.verify_record(record) is Verdict.HEALTHY
+        attached = dict(record.data_copy)
+        assert attached[data_block] == b"\x21" * 32
+
+    def test_copy_covers_whole_data_region(self):
+        device, verifier = rig()
+        record = measured(device, verifier, attach_mutable=True)
+        data = device.memory.regions["data"]
+        assert sorted(i for i, _ in record.data_copy) == list(
+            data.blocks()
+        )
+
+    def test_code_changes_still_detected(self):
+        device, verifier = rig()
+        device.memory.write(1, b"\x66" * 32, "malware")  # code block
+        record = measured(device, verifier, attach_mutable=True)
+        assert verifier.verify_record(record) is Verdict.COMPROMISED
+
+    def test_copy_is_authenticated(self):
+        """Tampering with the shipped D in flight breaks the report
+        MAC -- the copy is inside the authenticated serialization."""
+        from repro.ra.report import AttestationReport
+
+        device, verifier = rig()
+        record = measured(device, verifier, attach_mutable=True)
+        report = AttestationReport.authenticate(
+            device.attestation_key, device.name, [record]
+        )
+        assert report.verify_tag(device.attestation_key)
+        tampered_record = dataclasses.replace(
+            record,
+            data_copy=tuple(
+                (index, b"\x00" * 32) for index, _ in record.data_copy
+            ),
+        )
+        forged = AttestationReport(
+            report.device, (tampered_record,), report.auth_tag,
+            report.sent_counter,
+        )
+        assert not forged.verify_tag(device.attestation_key)
+
+    def test_code_block_in_copy_flagged(self):
+        """A malicious prover cannot launder a code block as 'data'."""
+        device, verifier = rig()
+        device.memory.write(1, b"\x66" * 32, "malware")
+        record = measured(device, verifier, attach_mutable=True)
+        laundered = dataclasses.replace(
+            record,
+            data_copy=record.data_copy + ((1, b"\x66" * 32),),
+        )
+        assert verifier.verify_record(laundered) is Verdict.COMPROMISED
+
+    def test_malware_in_shipped_d_is_visible_to_vrf(self):
+        """The copy does not *hide* D from the verifier -- unlike
+        zeroing, Vrf receives D's bytes and can analyze them (the
+        paper's reason shipping makes sense when Vrf cares about D)."""
+        device, verifier = rig()
+        data_block = device.memory.regions["data"].start
+        payload = b"EV1L".ljust(32, b"\x00")
+        device.memory.write(data_block, payload, "malware")
+        record = measured(device, verifier, attach_mutable=True)
+        # Digest-wise the record is consistent...
+        assert verifier.verify_record(record) is Verdict.HEALTHY
+        # ...but the suspicious bytes are in the verifier's hands.
+        assert dict(record.data_copy)[data_block] == payload
+
+
+class TestMutualExclusion:
+    def test_both_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(normalize_mutable=True,
+                              attach_mutable=True)
+
+    def test_plain_measurement_has_no_copy(self):
+        device, verifier = rig()
+        record = measured(device, verifier)
+        assert record.data_copy == ()
+
+    def test_normalized_measurement_has_no_copy(self):
+        device, verifier = rig()
+        record = measured(device, verifier, normalize_mutable=True)
+        assert record.data_copy == ()
+
+
+class TestSizeTradeoff:
+    def test_report_growth_is_d_sized(self):
+        """'this only makes sense if |D| is small, i.e. |D| << L':
+        the canonical record grows by exactly the data region."""
+        device, verifier = rig()
+        plain = measured(device, verifier, nonce=b"x")
+        shipped = measured(device, verifier, nonce=b"x",
+                           attach_mutable=True)
+        growth = len(shipped.canonical_bytes()) - len(
+            plain.canonical_bytes()
+        )
+        data = device.memory.regions["data"]
+        expected = data.length * (device.memory.block_size + 4)
+        assert growth == expected

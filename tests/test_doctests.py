@@ -1,0 +1,29 @@
+"""Run the doctests embedded in module documentation.
+
+Keeps the usage examples in docstrings honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.crypto.drbg
+import repro.crypto.hmac
+import repro.crypto.timing
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.crypto.hmac,
+    repro.crypto.drbg,
+    repro.crypto.timing,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the module really has examples

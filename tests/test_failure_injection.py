@@ -1,0 +1,120 @@
+"""Failure injection across protocols: dead nodes, stale clocks,
+replayed pushes under the clock defense."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ra.report import Verdict
+from repro.ra.seed import SeedMonitor, SeedService
+from repro.ra.verifier import Verifier
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel, ReplayAdversary
+from repro.swarm import SwarmAttestation, make_topology
+
+
+class TestSwarmNodeFailure:
+    def build(self, dead_node=None):
+        sim = Simulator()
+        topology = make_topology(sim, count=7, shape="tree")
+        verifier = Verifier(sim)
+        swarm = SwarmAttestation(topology, verifier)
+        if dead_node is not None:
+            swarm.services[dead_node].online = False
+        return sim, swarm
+
+    def test_healthy_round_beats_deadline(self):
+        sim, swarm = self.build()
+        nonce = swarm.attest(timeout=10.0)
+        sim.run(until=30)
+        result = swarm.result_for(nonce)
+        assert not result.timed_out
+        assert result.all_healthy
+
+    def test_dead_leaf_times_out_whole_round(self):
+        sim, swarm = self.build(dead_node=6)
+        nonce = swarm.attest(timeout=10.0)
+        sim.run(until=30)
+        result = swarm.result_for(nonce)
+        assert result.timed_out
+        assert not result.all_healthy
+
+    def test_dead_interior_node_times_out(self):
+        sim, swarm = self.build(dead_node=1)  # parent of 3 and 4
+        nonce = swarm.attest(timeout=10.0)
+        sim.run(until=30)
+        assert swarm.result_for(nonce).timed_out
+
+    def test_dead_root_times_out(self):
+        sim, swarm = self.build(dead_node=0)
+        nonce = swarm.attest(timeout=10.0)
+        sim.run(until=30)
+        assert swarm.result_for(nonce).timed_out
+
+    def test_late_aggregate_after_deadline_ignored(self):
+        """Once a round timed out, a straggling aggregate does not
+        create a second, contradictory result."""
+        sim, swarm = self.build()
+        nonce = swarm.attest(timeout=0.001)  # everything is 'late'
+        sim.run(until=30)
+        matching = [r for r in swarm.results if r.nonce == nonce]
+        assert len(matching) == 1
+        assert matching[0].timed_out
+
+
+class TestSeedClockDefense:
+    def build(self, replay_defense, filters=(), skew_bound=1.0):
+        sim = Simulator()
+        device = Device(sim, block_count=10, block_size=32)
+        device.standard_layout()
+        channel = Channel(sim, latency=0.002)
+        for filter_fn in filters:
+            channel.add_filter(filter_fn)
+        device.attach_network(channel)
+        verifier = Verifier(sim)
+        verifier.register_from_device(device)
+        seed_bytes = b"clock-defense"
+        service = SeedService(device, seed_bytes, min_gap=3.0,
+                              max_gap=5.0, trigger_count=4)
+        monitor = SeedMonitor(
+            verifier, channel, device.name, seed_bytes,
+            min_gap=3.0, max_gap=5.0, trigger_count=4, grace=1.5,
+            replay_defense=replay_defense, clock_skew_bound=skew_bound,
+        )
+        service.start()
+        return sim, verifier, monitor
+
+    def test_clock_defense_accepts_fresh_reports(self):
+        sim, verifier, monitor = self.build("clock")
+        sim.run(until=60)
+        assert monitor.verdict_series() == ["healthy"] * 4
+        assert monitor.missing_count() == 0
+
+    def test_clock_defense_flags_replays(self):
+        replayer = ReplayAdversary("seed_report", replay_delay=3.0,
+                                   copies=1, base_latency=0.002)
+        sim, verifier, monitor = self.build(
+            "clock", filters=[replayer], skew_bound=1.0
+        )
+        sim.run(until=60)
+        replays = [
+            r for r in verifier.results
+            if r.verdict is Verdict.REPLAY and "stale" in r.detail
+        ]
+        assert len(replays) == 4
+
+    def test_counter_defense_unaffected_by_clock_bound(self):
+        replayer = ReplayAdversary("seed_report", replay_delay=3.0,
+                                   copies=1, base_latency=0.002)
+        sim, verifier, monitor = self.build(
+            "counter", filters=[replayer]
+        )
+        sim.run(until=60)
+        replays = [
+            r for r in verifier.results if r.verdict is Verdict.REPLAY
+        ]
+        assert len(replays) == 4
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.build("vibes")

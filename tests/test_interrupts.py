@@ -1,0 +1,111 @@
+"""Interrupt controller: dispatch, masking, latency accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.process import Atomic, Compute
+
+
+def make_device():
+    sim = Simulator()
+    return sim, Device(sim, block_count=4, block_size=16)
+
+
+class TestDispatch:
+    def test_handler_runs_with_payload(self):
+        sim, device = make_device()
+        seen = []
+
+        def handler(proc, payload):
+            yield Compute(0.001)
+            seen.append((payload, sim.now))
+
+        device.irq.register("sensor", handler, priority=100)
+        sim.schedule(1.0, device.irq.raise_irq, "sensor", 42)
+        sim.run()
+        assert seen == [(42, pytest.approx(1.001))]
+
+    def test_duplicate_registration_rejected(self):
+        _, device = make_device()
+        device.irq.register("line", lambda p, v: iter(()))
+        with pytest.raises(ConfigurationError):
+            device.irq.register("line", lambda p, v: iter(()))
+
+    def test_unknown_line_rejected(self):
+        _, device = make_device()
+        with pytest.raises(ConfigurationError):
+            device.irq.raise_irq("ghost")
+
+    def test_each_raise_spawns_fresh_handler(self):
+        sim, device = make_device()
+        count = []
+
+        def handler(proc, payload):
+            count.append(payload)
+            yield Compute(0.0)
+
+        line = device.irq.register("tick", handler)
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, device.irq.raise_irq, "tick", t)
+        sim.run()
+        assert count == [1.0, 2.0, 3.0]
+        assert line.stats.raised == 3
+        assert line.stats.handled == 3
+
+
+class TestMaskingLatency:
+    def test_atomic_section_delays_handler(self):
+        """The fire-alarm problem in miniature: an IRQ raised during an
+        atomic measurement waits until the atomic section ends."""
+        sim, device = make_device()
+        handled_at = []
+
+        def handler(proc, payload):
+            handled_at.append(sim.now)
+            yield Compute(0.0)
+
+        line = device.irq.register("fire", handler, priority=1000)
+
+        def atomic_mp(proc):
+            yield Atomic(True)
+            yield Compute(5.0)
+            yield Atomic(False)
+
+        device.cpu.spawn("mp", atomic_mp, priority=1)
+        sim.schedule(2.0, device.irq.raise_irq, "fire")
+        sim.run()
+        assert handled_at == [pytest.approx(5.0)]
+        assert line.stats.worst_latency == pytest.approx(3.0)
+
+    def test_latency_zero_when_cpu_free(self):
+        sim, device = make_device()
+
+        def handler(proc, payload):
+            yield Compute(0.0)
+
+        line = device.irq.register("fast", handler, priority=1000)
+        sim.schedule(1.0, device.irq.raise_irq, "fast")
+        sim.run()
+        assert line.stats.worst_latency == pytest.approx(0.0)
+        assert line.stats.mean_latency == pytest.approx(0.0)
+
+    def test_mean_latency_accumulates(self):
+        sim, device = make_device()
+
+        def handler(proc, payload):
+            yield Compute(0.0)
+
+        line = device.irq.register("line", handler, priority=1000)
+
+        def atomic_hog(proc):
+            yield Atomic(True)
+            yield Compute(4.0)
+            yield Atomic(False)
+
+        device.cpu.spawn("hog", atomic_hog, priority=1)
+        sim.schedule(1.0, device.irq.raise_irq, "line")  # waits 3
+        sim.schedule(3.0, device.irq.raise_irq, "line")  # waits 1
+        sim.run()
+        assert line.stats.mean_latency == pytest.approx(2.0)

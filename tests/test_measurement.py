@@ -1,0 +1,253 @@
+"""The measurement process MP: traversal, records, interruption."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.malware.observer import MeasurementObserver
+from repro.ra.locking import AllLock
+from repro.ra.measurement import (
+    MeasurementConfig,
+    MeasurementProcess,
+    derive_order_seed,
+    expected_digest,
+    traversal_order,
+)
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.process import Compute
+from repro.sim.task import PeriodicTask
+
+
+def run_measurement(device, config, nonce=b"n", counter=1, until=100.0):
+    mp = MeasurementProcess(device, config, nonce=nonce, counter=counter,
+                            mechanism="test")
+    device.cpu.spawn("mp", mp.run, priority=config.priority)
+    device.sim.run(until=until)
+    assert mp.record is not None
+    return mp.record
+
+
+def make_device(block_count=8, **kwargs):
+    sim = Simulator()
+    device = Device(sim, block_count=block_count, block_size=32, **kwargs)
+    return device
+
+
+class TestOrderDerivation:
+    def test_sequential_order(self):
+        assert traversal_order([0, 1, 2], "sequential", b"") == [0, 1, 2]
+
+    def test_shuffled_order_is_permutation(self):
+        order = traversal_order(list(range(32)), "shuffled", b"seed")
+        assert sorted(order) == list(range(32))
+        assert order != list(range(32))  # 1/32! chance of flaking
+
+    def test_shuffled_order_deterministic_per_seed(self):
+        blocks = list(range(16))
+        assert traversal_order(blocks, "shuffled", b"s") == traversal_order(
+            blocks, "shuffled", b"s"
+        )
+
+    def test_order_seed_depends_on_everything(self):
+        base = derive_order_seed(b"key", b"nonce", 1)
+        assert base != derive_order_seed(b"other", b"nonce", 1)
+        assert base != derive_order_seed(b"key", b"other", 1)
+        assert base != derive_order_seed(b"key", b"nonce", 2)
+
+
+class TestRecordContents:
+    def test_digest_matches_expected_digest(self):
+        device = make_device()
+        config = MeasurementConfig(algorithm="sha256")
+        record = run_measurement(device, config, nonce=b"nonce")
+        expected = expected_digest(
+            device.attestation_key,
+            list(device.memory.benign_image()),
+            "sha256",
+            b"nonce",
+            1,
+            list(range(device.block_count)),
+            "sequential",
+            b"",
+        )
+        assert record.digest == expected
+
+    def test_shuffled_digest_recomputable(self):
+        device = make_device()
+        config = MeasurementConfig(order="shuffled")
+        record = run_measurement(device, config, nonce=b"abc")
+        assert record.order_seed == derive_order_seed(
+            device.attestation_key, b"abc", 1
+        )
+        expected = expected_digest(
+            device.attestation_key,
+            list(device.memory.benign_image()),
+            record.algorithm,
+            record.nonce,
+            record.counter,
+            list(range(device.block_count)),
+            "shuffled",
+            record.order_seed,
+        )
+        assert record.digest == expected
+
+    def test_timing_fields(self):
+        device = make_device(sim_block_size=1024 * 1024)
+        record = run_measurement(device, MeasurementConfig())
+        per_block = device.block_measure_time("blake2s")
+        assert record.duration >= per_block * device.block_count
+        assert record.t_end > record.t_start
+
+    def test_audit_fields_populated(self):
+        device = make_device()
+        record = run_measurement(device, MeasurementConfig())
+        assert len(record.audit_block_times) == device.block_count
+        assert all(t >= 0 for t in record.audit_block_times)
+        assert all(h for h in record.audit_block_hashes)
+
+    def test_audit_times_monotone_in_sequential_order(self):
+        device = make_device()
+        record = run_measurement(device, MeasurementConfig())
+        times = list(record.audit_block_times)
+        assert times == sorted(times)
+
+    def test_process_result_is_record(self):
+        device = make_device()
+        config = MeasurementConfig()
+        mp = MeasurementProcess(device, config, nonce=b"n")
+        proc = device.cpu.spawn("mp", mp.run, priority=50)
+        device.sim.run(until=100)
+        assert proc.result is mp.record
+
+
+class TestRegions:
+    def test_region_restriction(self):
+        device = make_device()
+        device.standard_layout()
+        config = MeasurementConfig(region="code")
+        record = run_measurement(device, config)
+        code = device.memory.regions["code"]
+        assert record.block_count == code.length
+        assert record.region == "code"
+        # Only code blocks have audit entries.
+        measured = [
+            i for i, t in enumerate(record.audit_block_times) if t >= 0
+        ]
+        assert measured == list(code.blocks())
+
+    def test_unknown_region_rejected(self):
+        device = make_device()
+        config = MeasurementConfig(region="ghost")
+        mp = MeasurementProcess(device, config, nonce=b"n")
+        device.cpu.spawn("mp", mp.run, priority=50)
+        with pytest.raises(ConfigurationError):
+            device.sim.run(until=10)
+
+
+class TestNormalization:
+    def test_normalized_digest_ignores_data_writes(self):
+        device = make_device()
+        device.standard_layout()
+        data_block = device.memory.regions["data"].start
+        device.memory.write(data_block, b"\x77" * 32, "app")
+        config = MeasurementConfig(normalize_mutable=True)
+        record = run_measurement(device, config, nonce=b"z")
+        reference = list(device.memory.benign_image())
+        mutable = frozenset(device.memory.regions["data"].blocks())
+        expected = expected_digest(
+            device.attestation_key, reference, record.algorithm,
+            b"z", 1, list(range(device.block_count)), "sequential", b"",
+            normalized_blocks=mutable,
+        )
+        assert record.digest == expected
+        assert record.normalized
+
+    def test_unnormalized_digest_sees_data_writes(self):
+        device = make_device()
+        device.standard_layout()
+        data_block = device.memory.regions["data"].start
+        device.memory.write(data_block, b"\x77" * 32, "app")
+        record = run_measurement(device, MeasurementConfig(), nonce=b"z")
+        expected_clean = expected_digest(
+            device.attestation_key,
+            list(device.memory.benign_image()),
+            record.algorithm, b"z", 1,
+            list(range(device.block_count)), "sequential", b"",
+        )
+        assert record.digest != expected_clean
+
+    def test_normalization_does_not_hide_code_changes(self):
+        device = make_device()
+        device.standard_layout()
+        device.memory.write(0, b"\x66" * 32, "malware")  # code block
+        config = MeasurementConfig(normalize_mutable=True)
+        record = run_measurement(device, config, nonce=b"z")
+        reference = list(device.memory.benign_image())
+        mutable = frozenset(device.memory.regions["data"].blocks())
+        clean = expected_digest(
+            device.attestation_key, reference, record.algorithm,
+            b"z", 1, list(range(device.block_count)), "sequential", b"",
+            normalized_blocks=mutable,
+        )
+        assert record.digest != clean
+
+
+class TestInterruption:
+    def test_atomic_mp_never_interrupted(self):
+        device = make_device(sim_block_size=4 * 1024 * 1024)
+        PeriodicTask(device.cpu, "task", period=0.05, wcet=0.001,
+                     priority=100)
+        config = MeasurementConfig(atomic=True)
+        record = run_measurement(device, config)
+        assert record.interruptions == 0
+
+    def test_interruptible_mp_preempted_by_task(self):
+        device = make_device(sim_block_size=4 * 1024 * 1024)
+        PeriodicTask(device.cpu, "task", period=0.05, wcet=0.001,
+                     priority=100)
+        config = MeasurementConfig(atomic=False, priority=50)
+        record = run_measurement(device, config)
+        assert record.interruptions > 0
+
+    def test_lock_ops_extend_duration(self):
+        device = make_device()
+        plain = run_measurement(make_device(), MeasurementConfig())
+        locked = run_measurement(
+            device, MeasurementConfig(locking=AllLock())
+        )
+        assert locked.duration > plain.duration
+
+
+class TestMalwareVisibility:
+    def test_observer_sees_progress_counts_only(self):
+        device = make_device()
+        observer = MeasurementObserver(device)
+        run_measurement(device, MeasurementConfig(order="shuffled"))
+        events = observer.progress_events()
+        assert [e.progress for e in events] == list(
+            range(1, device.block_count + 1)
+        )
+        # Nothing in the event reveals which block was measured.
+        assert not hasattr(events[0], "block_index")
+
+    def test_atomic_flag_visible_to_malware(self):
+        device = make_device()
+        observer = MeasurementObserver(device)
+        run_measurement(device, MeasurementConfig(atomic=True))
+        assert all(not e.interruptible for e in observer.starts())
+
+    def test_notifications_suppressed_when_configured(self):
+        device = make_device()
+        observer = MeasurementObserver(device)
+        run_measurement(device, MeasurementConfig(notify_malware=False))
+        assert observer.events == []
+
+
+class TestConfigValidation:
+    def test_bad_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(order="spiral")
+
+    def test_negative_release_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(release_delay=-1.0)

@@ -1,0 +1,87 @@
+"""One verifier, many provers on a shared channel."""
+
+import pytest
+
+from repro.malware.transient import TransientMalware
+from repro.ra.report import Verdict
+from repro.ra.service import OnDemandVerifier
+from repro.ra.smart import SmartAttestation
+from repro.ra.verifier import Verifier
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel
+
+
+def fleet(count=3):
+    sim = Simulator()
+    channel = Channel(sim, latency=0.003)
+    verifier = Verifier(sim)
+    devices = []
+    for index in range(count):
+        device = Device(sim, name=f"prv{index}", block_count=12,
+                        block_size=32, seed=10 + index)
+        device.standard_layout()
+        device.attach_network(channel)
+        verifier.register_from_device(device)
+        SmartAttestation(device).install()
+        devices.append(device)
+    driver = OnDemandVerifier(verifier, channel)
+    return sim, devices, verifier, driver
+
+
+class TestFleetAttestation:
+    def test_all_devices_answer_concurrently(self):
+        sim, devices, verifier, driver = fleet(4)
+        exchanges = [driver.request(d.name) for d in devices]
+        sim.run(until=60)
+        assert all(e.result is not None for e in exchanges)
+        assert all(
+            e.result.verdict is Verdict.HEALTHY for e in exchanges
+        )
+
+    def test_responses_matched_to_the_right_device(self):
+        sim, devices, verifier, driver = fleet(3)
+        exchanges = [driver.request(d.name) for d in devices]
+        sim.run(until=60)
+        for device, exchange in zip(devices, exchanges):
+            assert exchange.device == device.name
+            assert exchange.report.device == device.name
+
+    def test_one_bad_apple_isolated(self):
+        sim, devices, verifier, driver = fleet(3)
+        TransientMalware(devices[1], target_block=2, infect_at=0.0)
+        exchanges = [driver.request(d.name) for d in devices]
+        sim.run(until=60)
+        verdicts = [e.result.verdict for e in exchanges]
+        assert verdicts == [
+            Verdict.HEALTHY, Verdict.COMPROMISED, Verdict.HEALTHY,
+        ]
+
+    def test_keys_are_per_device(self):
+        sim, devices, verifier, driver = fleet(3)
+        keys = {device.attestation_key for device in devices}
+        assert len(keys) == 3
+
+    def test_cross_device_report_rejected(self):
+        """A report MAC'd under device A's key cannot pass as B's."""
+        from repro.ra.report import AttestationReport
+
+        sim, devices, verifier, driver = fleet(2)
+        exchanges = [driver.request(d.name) for d in devices]
+        sim.run(until=60)
+        report_a = exchanges[0].report
+        forged = AttestationReport(
+            device=devices[1].name,
+            records=report_a.records,
+            auth_tag=report_a.auth_tag,
+            sent_counter=report_a.sent_counter,
+        )
+        result = verifier.verify_report(forged)
+        assert result.verdict is Verdict.INVALID
+
+    def test_distinct_benign_images_per_seed(self):
+        sim, devices, verifier, driver = fleet(2)
+        assert (
+            devices[0].memory.benign_image()
+            != devices[1].memory.benign_image()
+        )

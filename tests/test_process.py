@@ -1,0 +1,399 @@
+"""CPU scheduling: priorities, preemption, atomic sections."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim.engine import Signal, Simulator
+from repro.sim.process import (
+    CPU,
+    Atomic,
+    Compute,
+    ProcState,
+    Sleep,
+    WaitSignal,
+    Yield,
+)
+
+
+def make_cpu():
+    sim = Simulator()
+    return sim, CPU(sim)
+
+
+class TestBasicExecution:
+    def test_single_process_computes(self):
+        sim, cpu = make_cpu()
+        done = []
+
+        def body(proc):
+            yield Compute(2.5)
+            done.append(sim.now)
+
+        cpu.spawn("p", body)
+        sim.run()
+        assert done == [2.5]
+
+    def test_process_result_and_done_signal(self):
+        sim, cpu = make_cpu()
+
+        def body(proc):
+            yield Compute(1.0)
+            return 42
+
+        proc = cpu.spawn("p", body)
+        results = []
+        sim.schedule(0.0, lambda: proc.done_signal.wait(results.append))
+        sim.run()
+        assert proc.result == 42
+        assert proc.state is ProcState.DONE
+        assert results == [42]
+
+    def test_sleep_releases_cpu(self):
+        sim, cpu = make_cpu()
+        log = []
+
+        def sleeper(proc):
+            yield Sleep(5.0)
+            log.append(("sleeper", sim.now))
+
+        def worker(proc):
+            yield Compute(1.0)
+            log.append(("worker", sim.now))
+
+        cpu.spawn("sleeper", sleeper, priority=10)
+        cpu.spawn("worker", worker, priority=1)
+        sim.run()
+        assert log == [("worker", 1.0), ("sleeper", 5.0)]
+
+    def test_spawn_delay(self):
+        sim, cpu = make_cpu()
+        started = []
+
+        def body(proc):
+            started.append(sim.now)
+            yield Compute(0.1)
+
+        cpu.spawn("late", body, delay=3.0)
+        sim.run()
+        assert started == [3.0]
+
+    def test_sequential_same_priority_fifo(self):
+        sim, cpu = make_cpu()
+        log = []
+
+        def make(tag):
+            def body(proc):
+                yield Compute(1.0)
+                log.append(tag)
+
+            return body
+
+        cpu.spawn("a", make("a"), priority=5)
+        cpu.spawn("b", make("b"), priority=5)
+        sim.run()
+        assert log == ["a", "b"]
+
+
+class TestPreemption:
+    def test_higher_priority_preempts(self):
+        sim, cpu = make_cpu()
+        log = []
+
+        def low(proc):
+            yield Compute(10.0)
+            log.append(("low", sim.now))
+
+        def high(proc):
+            yield Sleep(2.0)
+            yield Compute(1.0)
+            log.append(("high", sim.now))
+
+        low_proc = cpu.spawn("low", low, priority=1)
+        cpu.spawn("high", high, priority=9)
+        sim.run()
+        # low loses [2, 3] to high; finishes at 11.
+        assert log == [("high", 3.0), ("low", 11.0)]
+        assert low_proc.preemption_count >= 1
+
+    def test_equal_priority_does_not_preempt(self):
+        sim, cpu = make_cpu()
+        log = []
+
+        def first(proc):
+            yield Compute(4.0)
+            log.append(("first", sim.now))
+
+        def second(proc):
+            yield Sleep(1.0)
+            yield Compute(1.0)
+            log.append(("second", sim.now))
+
+        cpu.spawn("first", first, priority=5)
+        cpu.spawn("second", second, priority=5)
+        sim.run()
+        # "second" cannot even reach its Sleep until "first" finishes
+        # (equal priority never preempts): start 4, sleep to 5, compute.
+        assert log == [("first", 4.0), ("second", 6.0)]
+
+    def test_preempted_work_is_conserved(self):
+        sim, cpu = make_cpu()
+
+        def low(proc):
+            yield Compute(10.0)
+
+        def high(proc):
+            yield Sleep(3.0)
+            yield Compute(2.0)
+
+        low_proc = cpu.spawn("low", low, priority=1)
+        high_proc = cpu.spawn("high", high, priority=9)
+        sim.run()
+        assert low_proc.finished_at == pytest.approx(12.0)
+        assert low_proc.cpu_time == pytest.approx(10.0)
+        assert high_proc.cpu_time == pytest.approx(2.0)
+
+    def test_response_accounting(self):
+        sim, cpu = make_cpu()
+
+        def hog(proc):
+            yield Atomic(True)
+            yield Compute(5.0)
+            yield Atomic(False)
+
+        def victim(proc):
+            yield Compute(0.5)
+
+        cpu.spawn("hog", hog, priority=1)
+        victim_proc = cpu.spawn("victim", victim, priority=9)
+        sim.run()
+        # victim became ready at 0 but waited out the atomic hog.
+        assert victim_proc.response_max == pytest.approx(5.0)
+
+
+class TestAtomic:
+    def test_atomic_blocks_higher_priority(self):
+        sim, cpu = make_cpu()
+        log = []
+
+        def mp(proc):
+            yield Atomic(True)
+            yield Compute(10.0)
+            yield Atomic(False)
+            log.append(("mp", sim.now))
+
+        def critical(proc):
+            yield Sleep(1.0)
+            yield Compute(1.0)
+            log.append(("critical", sim.now))
+
+        cpu.spawn("mp", mp, priority=1)
+        cpu.spawn("critical", critical, priority=100)
+        sim.run()
+        assert log[0] == ("mp", 10.0)
+        # critical got the CPU only after the atomic section ended; it
+        # still had to start (Sleep) and compute.
+        assert log[1][1] > 10.0
+
+    def test_atomic_flag_cleared_on_finish(self):
+        sim, cpu = make_cpu()
+
+        def mp(proc):
+            yield Atomic(True)
+            yield Compute(1.0)
+            # ends without Atomic(False): CPU must clean up
+
+        def later(proc):
+            yield Compute(1.0)
+
+        mp_proc = cpu.spawn("mp", mp, priority=5)
+        later_proc = cpu.spawn("later", later, priority=1)
+        sim.run()
+        assert mp_proc.atomic is False
+        assert later_proc.state is ProcState.DONE
+
+    def test_sleep_inside_atomic_rejected(self):
+        sim, cpu = make_cpu()
+
+        def bad(proc):
+            yield Atomic(True)
+            yield Sleep(1.0)
+
+        cpu.spawn("bad", bad)
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_wait_inside_atomic_rejected(self):
+        sim, cpu = make_cpu()
+        signal = Signal(sim, "s")
+
+        def bad(proc):
+            yield Atomic(True)
+            yield WaitSignal(signal)
+
+        cpu.spawn("bad", bad)
+        with pytest.raises(ProcessError):
+            sim.run()
+
+
+class TestSignalsAndYield:
+    def test_wait_signal_delivers_value(self):
+        sim, cpu = make_cpu()
+        signal = Signal(sim, "data")
+        got = []
+
+        def waiter(proc):
+            value = yield WaitSignal(signal)
+            got.append((value, sim.now))
+
+        cpu.spawn("waiter", waiter)
+        sim.schedule(3.0, signal.fire, "hello")
+        sim.run()
+        assert got == [("hello", 3.0)]
+
+    def test_yield_hands_off_round_robin(self):
+        sim, cpu = make_cpu()
+        log = []
+
+        def chatty(tag):
+            def body(proc):
+                # The zero-length compute lets both processes start
+                # before the hand-off dance begins.
+                yield Compute(0.0)
+                log.append(f"{tag}1")
+                yield Yield()
+                log.append(f"{tag}2")
+
+            return body
+
+        cpu.spawn("a", chatty("a"), priority=5)
+        cpu.spawn("b", chatty("b"), priority=5)
+        sim.run()
+        assert log == ["a1", "b1", "a2", "b2"]
+
+    def test_bad_yield_command_rejected(self):
+        sim, cpu = make_cpu()
+
+        def bad(proc):
+            yield "not a command"
+
+        cpu.spawn("bad", bad)
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ProcessError):
+            Compute(-1.0)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ProcessError):
+            Sleep(-1.0)
+
+
+class TestAccounting:
+    def test_idle_fraction(self):
+        sim, cpu = make_cpu()
+
+        def body(proc):
+            yield Compute(2.0)
+
+        cpu.spawn("p", body)
+        sim.run()
+        sim.run(until=10.0)
+        assert cpu.idle_fraction(10.0) == pytest.approx(0.8)
+
+    def test_dispatch_count(self):
+        sim, cpu = make_cpu()
+
+        def body(proc):
+            yield Compute(1.0)
+            yield Sleep(1.0)
+            yield Compute(1.0)
+
+        proc = cpu.spawn("p", body)
+        sim.run()
+        assert proc.dispatch_count >= 2
+
+    def test_started_and_finished_timestamps(self):
+        sim, cpu = make_cpu()
+
+        def body(proc):
+            yield Compute(1.5)
+
+        proc = cpu.spawn("p", body, delay=1.0)
+        sim.run()
+        assert proc.started_at == pytest.approx(1.0)
+        assert proc.finished_at == pytest.approx(2.5)
+
+
+class TestLifecycleEdgeCases:
+    def test_double_start_rejected(self):
+        sim, cpu = make_cpu()
+
+        def body(proc):
+            yield Compute(1.0)
+
+        proc = cpu.spawn("p", body)
+        sim.run()
+        with pytest.raises(ProcessError):
+            cpu._start(proc)
+
+    def test_alive_property(self):
+        sim, cpu = make_cpu()
+
+        def body(proc):
+            yield Compute(1.0)
+
+        proc = cpu.spawn("p", body)
+        assert not proc.alive  # NEW until its start event fires
+        sim.run(until=0.5)
+        assert proc.alive
+        sim.run()
+        assert not proc.alive
+
+    def test_response_mean_no_samples(self):
+        sim, cpu = make_cpu()
+
+        def body(proc):
+            yield Compute(1.0)
+
+        proc = cpu.spawn("p", body, delay=5.0)
+        assert proc.response_mean == 0.0
+
+    def test_idle_fraction_zero_elapsed(self):
+        _, cpu = make_cpu()
+        assert cpu.idle_fraction(0.0) == 0.0
+
+    def test_process_with_immediate_return(self):
+        sim, cpu = make_cpu()
+
+        def body(proc):
+            return 7
+            yield  # pragma: no cover - makes it a generator
+
+        proc = cpu.spawn("p", body)
+        sim.run()
+        assert proc.result == 7
+        assert proc.state is ProcState.DONE
+
+    def test_atomic_survives_nested_spawn(self):
+        """A process spawned from inside an atomic section stays READY
+        until the section ends."""
+        sim, cpu = make_cpu()
+        log = []
+
+        def child(proc):
+            log.append(("child", sim.now))
+            yield Compute(0.0)
+
+        def parent(proc):
+            yield Atomic(True)
+            cpu.spawn("child", child, priority=100)
+            yield Compute(3.0)
+            yield Atomic(False)
+            log.append(("parent", sim.now))
+
+        cpu.spawn("parent", parent, priority=1)
+        sim.run()
+        child_events = [entry for entry in log if entry[0] == "child"]
+        # The child only ran once the atomic section ended at t=3.
+        assert child_events == [("child", 3.0)]

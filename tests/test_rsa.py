@@ -1,0 +1,120 @@
+"""RSA key generation and PKCS#1 v1.5-style signatures.
+
+Tests use small-but-valid moduli (512/768 bits) so the suite stays
+fast; the 1024/2048/4096 sizes of Figure 2 differ only in prime size.
+"""
+
+import pytest
+
+from repro.crypto.rsa import (
+    RsaKeyPair,
+    _emsa_pkcs1_v15,
+    rsa_generate,
+    rsa_sign,
+    rsa_verify,
+)
+from repro.errors import KeySizeError
+
+KEY_512 = rsa_generate(512, seed=b"test-512")
+KEY_768 = rsa_generate(768, seed=b"test-768")
+
+
+class TestKeyGeneration:
+    def test_modulus_bit_length(self):
+        assert KEY_512.public.bits == 512
+        assert KEY_768.public.bits == 768
+
+    def test_deterministic_from_seed(self):
+        again = rsa_generate(512, seed=b"test-512")
+        assert again.public.n == KEY_512.public.n
+
+    def test_different_seeds_differ(self):
+        other = rsa_generate(512, seed=b"other")
+        assert other.public.n != KEY_512.public.n
+
+    def test_crt_components_consistent(self):
+        key = KEY_512.private
+        assert key.p * key.q == key.n
+        assert (key.e * key.d) % ((key.p - 1) * (key.q - 1)) == 1
+        assert key.d_p == key.d % (key.p - 1)
+        assert (key.q_inv * key.q) % key.p == 1
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(KeySizeError):
+            rsa_generate(128)
+
+    def test_public_extraction(self):
+        pub = KEY_512.private.public()
+        assert pub.n == KEY_512.public.n
+        assert pub.e == KEY_512.public.e
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        message = b"attestation report"
+        signature = rsa_sign(KEY_512.private, message)
+        assert rsa_verify(KEY_512.public, message, signature)
+
+    def test_signature_length_is_modulus_length(self):
+        signature = rsa_sign(KEY_512.private, b"m")
+        assert len(signature) == KEY_512.public.byte_length == 64
+
+    def test_tampered_message_rejected(self):
+        signature = rsa_sign(KEY_512.private, b"good")
+        assert not rsa_verify(KEY_512.public, b"evil", signature)
+
+    def test_tampered_signature_rejected(self):
+        signature = bytearray(rsa_sign(KEY_512.private, b"m"))
+        signature[10] ^= 0x01
+        assert not rsa_verify(KEY_512.public, b"m", bytes(signature))
+
+    def test_wrong_key_rejected(self):
+        signature = rsa_sign(KEY_512.private, b"m")
+        assert not rsa_verify(KEY_768.public, b"m", signature)
+
+    def test_deterministic_signature(self):
+        assert rsa_sign(KEY_512.private, b"m") == rsa_sign(
+            KEY_512.private, b"m"
+        )
+
+    def test_sha512_variant(self):
+        signature = rsa_sign(KEY_768.private, b"m", hash_name="sha512")
+        assert rsa_verify(KEY_768.public, b"m", signature,
+                          hash_name="sha512")
+        # Verifying under the wrong hash must fail.
+        assert not rsa_verify(KEY_768.public, b"m", signature)
+
+    def test_sha512_needs_room(self):
+        # 512-bit modulus cannot hold a SHA-512 DigestInfo.
+        with pytest.raises(KeySizeError):
+            rsa_sign(KEY_512.private, b"m", hash_name="sha512")
+
+
+class TestVerifyRobustness:
+    def test_wrong_length_signature(self):
+        assert not rsa_verify(KEY_512.public, b"m", b"\x00" * 63)
+
+    def test_signature_value_ge_modulus(self):
+        too_big = (KEY_512.public.n).to_bytes(64, "big")
+        assert not rsa_verify(KEY_512.public, b"m", too_big)
+
+    def test_empty_signature(self):
+        assert not rsa_verify(KEY_512.public, b"m", b"")
+
+    def test_all_zero_signature(self):
+        assert not rsa_verify(KEY_512.public, b"m", b"\x00" * 64)
+
+
+class TestEncoding:
+    def test_emsa_structure(self):
+        em = _emsa_pkcs1_v15(b"m", 64, "sha256")
+        assert em[:2] == b"\x00\x01"
+        assert b"\x00" in em[2:]
+        assert len(em) == 64
+        # Padding is all 0xFF.
+        separator = em.index(b"\x00", 2)
+        assert set(em[2:separator]) == {0xFF}
+
+    def test_emsa_too_small(self):
+        with pytest.raises(KeySizeError):
+            _emsa_pkcs1_v15(b"m", 40, "sha256")

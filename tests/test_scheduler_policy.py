@@ -1,0 +1,122 @@
+"""Context-aware self-measurement scheduling policies."""
+
+import pytest
+
+from repro.core.scheduler_policy import (
+    ContextAwareSchedule,
+    FixedSchedule,
+    SlackSchedule,
+)
+from repro.errors import ConfigurationError
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.task import PeriodicTask
+
+
+def make_critical(period=1.0, wcet=0.1, offset=0.0):
+    sim = Simulator()
+    device = Device(sim, block_count=4, block_size=16)
+    task = PeriodicTask(device.cpu, "crit", period=period, wcet=wcet,
+                        offset=offset)
+    return device, task
+
+
+class TestFixed:
+    def test_returns_nominal(self):
+        device, _ = make_critical()
+        policy = FixedSchedule()
+        assert policy(device, 7.3, 2) == 7.3
+
+
+class TestContextAware:
+    def test_defers_when_release_imminent(self):
+        device, task = make_critical(period=1.0, wcet=0.1)
+        policy = ContextAwareSchedule(task, guard=0.1)
+        # Nominal 0.95: next release at 1.0 is within the guard.
+        start = policy(device, 0.95, 0)
+        assert start == pytest.approx(1.0 + 0.1)
+        assert policy.deferrals == 1
+
+    def test_no_deferral_when_clear(self):
+        device, task = make_critical(period=1.0, wcet=0.1)
+        policy = ContextAwareSchedule(task, guard=0.05)
+        assert policy(device, 0.5, 0) == 0.5
+        assert policy.deferrals == 0
+
+    def test_nominal_exactly_on_release(self):
+        device, task = make_critical(period=1.0, wcet=0.1)
+        policy = ContextAwareSchedule(task, guard=0.05)
+        start = policy(device, 2.0, 0)
+        assert start == pytest.approx(2.0 + 0.1)
+
+    def test_offset_respected(self):
+        device, task = make_critical(period=1.0, wcet=0.1, offset=0.4)
+        policy = ContextAwareSchedule(task, guard=0.1)
+        # Releases at 0.4, 1.4, ...; nominal 1.35 is within guard of 1.4.
+        start = policy(device, 1.35, 0)
+        assert start == pytest.approx(1.4 + 0.1)
+
+    def test_negative_guard_rejected(self):
+        _, task = make_critical()
+        with pytest.raises(ConfigurationError):
+            ContextAwareSchedule(task, guard=-0.1)
+
+
+class TestSlack:
+    def test_fits_in_current_gap(self):
+        device, task = make_critical(period=1.0, wcet=0.1)
+        policy = SlackSchedule(task, measurement_time=0.3)
+        # Nominal 0.2: gap [0.1, 1.0] has 0.9s of slack; start at 0.2.
+        assert policy(device, 0.2, 0) == pytest.approx(0.2)
+
+    def test_slides_to_next_gap_when_tight(self):
+        device, task = make_critical(period=1.0, wcet=0.1)
+        policy = SlackSchedule(task, measurement_time=0.3)
+        # Nominal 0.85: only 0.15 left before the next release; the
+        # measurement starts after the next critical job instead.
+        start = policy(device, 0.85, 0)
+        assert start == pytest.approx(1.1)
+        assert policy.deferrals == 1
+
+    def test_oversized_measurement_degrades_gracefully(self):
+        device, task = make_critical(period=1.0, wcet=0.1)
+        policy = SlackSchedule(task, measurement_time=5.0)
+        assert policy.never_fits
+        start = policy(device, 0.5, 0)
+        assert start >= 0.5
+
+    def test_negative_measurement_rejected(self):
+        _, task = make_critical()
+        with pytest.raises(ConfigurationError):
+            SlackSchedule(task, measurement_time=-1.0)
+
+
+class TestEndToEndDeferral:
+    def test_context_aware_erasmus_protects_critical_task(self):
+        """With the context-aware policy, atomic self-measurements dodge
+        the critical releases, eliminating deadline misses."""
+        from repro.ra.erasmus import ErasmusService
+        from repro.ra.measurement import MeasurementConfig
+        from repro.units import MiB
+
+        def run(policy_factory):
+            sim = Simulator()
+            device = Device(sim, block_count=8, block_size=32,
+                            sim_block_size=4 * MiB)  # MP ~ 0.22 s
+            device.standard_layout()
+            critical = PeriodicTask(device.cpu, "crit", period=0.5,
+                                    wcet=0.01, priority=100)
+            policy = policy_factory(critical) if policy_factory else None
+            config = MeasurementConfig(atomic=True, priority=50)
+            service = ErasmusService(device, period=1.0, config=config,
+                                     scheduler=policy)
+            service.start()
+            sim.run(until=10.0)
+            return critical.stats(), service
+
+        fixed_stats, _ = run(None)
+        aware_stats, _ = run(
+            lambda crit: SlackSchedule(crit, measurement_time=0.25)
+        )
+        assert aware_stats.worst_response < fixed_stats.worst_response
+        assert aware_stats.deadline_misses == 0

@@ -1,0 +1,121 @@
+"""On-demand protocol plumbing: request/reply over the network."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ra.measurement import MeasurementConfig
+from repro.ra.report import Verdict
+from repro.ra.service import AttestationService, OnDemandVerifier, listen
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel
+
+from tests.conftest import make_stack
+
+
+def install_service(stack, **config_kwargs):
+    config = MeasurementConfig(**config_kwargs)
+    service = AttestationService(stack.device, config, mechanism="test")
+    service.install()
+    return service
+
+
+class TestRoundTrip:
+    def test_healthy_exchange(self):
+        stack = make_stack()
+        install_service(stack)
+        exchange = stack.driver.request(stack.device.name)
+        stack.sim.run(until=60)
+        assert exchange.result is not None
+        assert exchange.result.verdict is Verdict.HEALTHY
+        assert exchange.round_trip > 0
+
+    def test_timeline_ordering(self):
+        stack = make_stack(latency=0.01)
+        install_service(stack)
+        exchange = stack.driver.request(stack.device.name)
+        stack.sim.run(until=60)
+        record = exchange.report.records[0]
+        assert (
+            exchange.requested_at
+            < record.t_start
+            < record.t_end
+            <= exchange.report_received_at
+            < exchange.result.verified_at
+        )
+
+    def test_network_latency_visible(self):
+        stack = make_stack(latency=0.5)
+        install_service(stack)
+        exchange = stack.driver.request(stack.device.name)
+        stack.sim.run(until=60)
+        record = exchange.report.records[0]
+        assert record.t_start >= exchange.requested_at + 0.5
+        assert exchange.report_received_at >= record.t_end + 0.5
+
+    def test_multiple_rounds_in_one_report(self):
+        stack = make_stack()
+        service = install_service(stack, order="shuffled")
+        exchange = stack.driver.request(stack.device.name, rounds=4)
+        stack.sim.run(until=120)
+        assert len(exchange.report.records) == 4
+        counters = [r.counter for r in exchange.report.records]
+        assert counters == sorted(counters)
+        # Each round gets an independent secret order.
+        seeds = {r.order_seed for r in exchange.report.records}
+        assert len(seeds) == 4
+
+    def test_queued_requests_all_answered(self):
+        stack = make_stack()
+        service = install_service(stack)
+        first = stack.driver.request(stack.device.name)
+        second = stack.driver.request(stack.device.name)
+        stack.sim.run(until=120)
+        assert first.result is not None and second.result is not None
+        assert service.requests_handled == 2
+
+    def test_on_result_callback(self):
+        stack = make_stack()
+        install_service(stack)
+        seen = []
+        stack.driver.request(stack.device.name, on_result=seen.append)
+        stack.sim.run(until=60)
+        assert len(seen) == 1
+        assert seen[0].result.verdict is Verdict.HEALTHY
+
+    def test_compromised_device_detected(self):
+        stack = make_stack()
+        install_service(stack)
+        stack.device.memory.write(1, b"\x66" * 32, "malware")
+        exchange = stack.driver.request(stack.device.name)
+        stack.sim.run(until=60)
+        assert exchange.result.verdict is Verdict.COMPROMISED
+
+
+class TestServiceGuards:
+    def test_requires_nic(self):
+        sim = Simulator()
+        device = Device(sim, block_count=8, block_size=32)
+        with pytest.raises(ConfigurationError):
+            AttestationService(device, MeasurementConfig())
+
+    def test_non_request_messages_ignored(self):
+        stack = make_stack()
+        service = install_service(stack)
+        stack.driver.endpoint.send(stack.device.name, "chatter", None)
+        stack.sim.run(until=10)
+        assert service.requests_handled == 0
+
+
+class TestListen:
+    def test_listener_rearms_for_every_message(self):
+        sim = Simulator()
+        channel = Channel(sim, latency=0.01)
+        a = channel.make_endpoint("a")
+        b = channel.make_endpoint("b")
+        got = []
+        listen(b, lambda msg: got.append(msg.kind))
+        for index in range(5):
+            sim.schedule(index * 0.1, a.send, "b", f"m{index}", None)
+        sim.run()
+        assert got == [f"m{index}" for index in range(5)]

@@ -1,0 +1,113 @@
+"""SMARM closed forms vs limits and vs each other."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.smarm_math import (
+    move_once_escape,
+    multi_round_escape,
+    rounds_for_confidence,
+    single_round_escape,
+    single_round_escape_limit,
+    stay_put_escape,
+)
+from repro.errors import ParameterError
+
+
+class TestSingleRound:
+    def test_small_n_exact(self):
+        assert single_round_escape(2) == pytest.approx(0.25)
+        assert single_round_escape(4) == pytest.approx((3 / 4) ** 4)
+
+    def test_converges_to_e_inverse(self):
+        limit = single_round_escape_limit()
+        assert limit == pytest.approx(math.exp(-1))
+        assert abs(single_round_escape(10_000) - limit) < 1e-4
+
+    def test_monotone_increasing_towards_limit(self):
+        # ((n-1)/n)^n increases to e^-1 from below: more blocks give
+        # the malware slightly *better* odds, saturating at ~0.368.
+        values = [single_round_escape(n) for n in (2, 4, 16, 256)]
+        assert values == sorted(values)
+        assert all(v < math.exp(-1) for v in values)
+
+    def test_moves_per_block_irrelevant(self):
+        assert single_round_escape(32, moves_per_block=3) == (
+            single_round_escape(32, moves_per_block=1)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            single_round_escape(1)
+        with pytest.raises(ParameterError):
+            single_round_escape(8, moves_per_block=0)
+
+    @given(st.integers(min_value=2, max_value=5000))
+    def test_bounds(self, n):
+        p = single_round_escape(n)
+        assert 0.25 - 1e-12 <= p < math.exp(-1)
+
+
+class TestMultiRound:
+    def test_exponential_decay(self):
+        one = multi_round_escape(64, 1)
+        five = multi_round_escape(64, 5)
+        assert five == pytest.approx(one ** 5)
+
+    def test_zero_rounds_is_certain_escape(self):
+        assert multi_round_escape(64, 0) == 1.0
+
+    def test_paper_numbers(self):
+        """'after 13 checks that probability is below 10^-6': the exact
+        finite-n value at 13 rounds is ~2e-6 and crosses 1e-6 at 13-14
+        rounds depending on n (the paper rounds down; shape identical)."""
+        thirteen = multi_round_escape(64, 13)
+        assert 1e-7 < thirteen < 1e-5
+        fourteen = multi_round_escape(64, 14)
+        assert fourteen < 1e-6
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ParameterError):
+            multi_round_escape(8, -1)
+
+
+class TestRoundsForConfidence:
+    def test_matches_direct_check(self):
+        for n in (16, 64, 256):
+            rounds = rounds_for_confidence(n, 1e-6)
+            assert multi_round_escape(n, rounds) < 1e-6
+            assert multi_round_escape(n, rounds - 1) >= 1e-6
+
+    def test_paper_regime_13_to_14(self):
+        assert rounds_for_confidence(64) in (13, 14)
+        assert rounds_for_confidence(1024) in (13, 14)
+
+    def test_small_n_needs_fewer(self):
+        # ((n-1)/n)^n is smaller for small n: fewer rounds needed.
+        assert rounds_for_confidence(2) < rounds_for_confidence(1024)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            rounds_for_confidence(64, 0.0)
+        with pytest.raises(ParameterError):
+            rounds_for_confidence(64, 1.0)
+
+
+class TestStrategyComparison:
+    def test_stay_put_always_caught(self):
+        assert stay_put_escape(64) == 0.0
+
+    def test_move_once_worse_than_per_block_uniform(self):
+        """[7]'s point: the optimal malware moves every block; moving
+        once survives only ~1/6 of the time."""
+        for n in (16, 64, 256):
+            assert move_once_escape(n) < single_round_escape(n)
+
+    def test_move_once_converges_to_one_sixth(self):
+        assert move_once_escape(10_000) == pytest.approx(1 / 6, abs=1e-3)
+
+    def test_move_once_validation(self):
+        with pytest.raises(ParameterError):
+            move_once_escape(1)

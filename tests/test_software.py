@@ -1,0 +1,159 @@
+"""Software-based attestation: the timing game and its fragility."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.malware.transient import TransientMalware
+from repro.ra.software import (
+    SoftwareAttestation,
+    SoftwareVerifier,
+    software_checksum,
+)
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel
+from repro.units import MiB
+
+
+def swatt_rig(redirect_penalty=0.0, forgery_speedup=1.0, infected=False):
+    sim = Simulator()
+    device = Device(sim, block_count=16, block_size=32,
+                    sim_block_size=MiB)
+    channel = Channel(sim, latency=0.005)
+    device.attach_network(channel)
+    service = SoftwareAttestation(
+        device, redirect_penalty=redirect_penalty,
+        forgery_speedup=forgery_speedup,
+    )
+    service.install()
+    reads = device.block_count * service.iterations
+    honest = device.timing.hash_time(
+        "sha256", device.memory.sim_block_size * reads
+    )
+    verifier = SoftwareVerifier(
+        channel,
+        reference_blocks=list(device.memory.benign_image()),
+        honest_time=honest,
+    )
+    if infected:
+        TransientMalware(device, target_block=5, infect_at=0.0)
+    return sim, device, verifier
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        blocks = [bytes([i]) * 32 for i in range(8)]
+        assert software_checksum(blocks, b"c") == software_checksum(
+            blocks, b"c"
+        )
+
+    def test_challenge_sensitivity(self):
+        blocks = [bytes([i]) * 32 for i in range(8)]
+        assert software_checksum(blocks, b"c1") != software_checksum(
+            blocks, b"c2"
+        )
+
+    def test_content_sensitivity(self):
+        blocks = [bytes([i]) * 32 for i in range(8)]
+        tampered = list(blocks)
+        tampered[3] = b"\xFF" * 32
+        assert software_checksum(blocks, b"c") != software_checksum(
+            tampered, b"c"
+        )
+
+    def test_order_sensitivity(self):
+        """Swapping two equal-weight blocks changes the result: the
+        checksum is strongly ordered, not a plain XOR."""
+        blocks = [bytes([i]) * 32 for i in range(8)]
+        swapped = list(blocks)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        assert software_checksum(blocks, b"c") != software_checksum(
+            swapped, b"c"
+        )
+
+    def test_64_bit_state(self):
+        blocks = [b"\x00" * 32] * 4
+        assert 0 <= software_checksum(blocks, b"c") < 2**64
+
+
+class TestHonestDevice:
+    def test_accepted(self):
+        sim, device, verifier = swatt_rig()
+        sim.schedule_at(0.5, verifier.challenge, device.name)
+        sim.run(until=30)
+        assert len(verifier.verdicts) == 1
+        verdict = verifier.verdicts[0]
+        assert verdict.correct and verdict.accepted
+
+    def test_multiple_challenges_fresh_each_time(self):
+        sim, device, verifier = swatt_rig()
+        sim.schedule_at(0.5, verifier.challenge, device.name)
+        sim.schedule_at(5.0, verifier.challenge, device.name)
+        sim.run(until=30)
+        assert len(verifier.verdicts) == 2
+        assert all(v.accepted for v in verifier.verdicts)
+
+
+class TestNaiveMalware:
+    def test_caught_by_checksum(self):
+        """Malware that stays resident without redirecting reads is
+        caught by plain correctness."""
+        sim, device, verifier = swatt_rig(infected=True)
+        sim.schedule_at(0.5, verifier.challenge, device.name)
+        sim.run(until=30)
+        verdict = verifier.verdicts[0]
+        assert not verdict.correct
+        assert not verdict.accepted
+
+
+class TestRedirectingMalware:
+    def test_caught_by_timing(self):
+        """Redirection makes the checksum correct but measurably late
+        -- the Pioneer defense."""
+        sim, device, verifier = swatt_rig(
+            redirect_penalty=2e-3, infected=True
+        )
+        sim.schedule_at(0.5, verifier.challenge, device.name)
+        sim.run(until=60)
+        verdict = verifier.verdicts[0]
+        assert verdict.correct
+        assert not verdict.accepted
+        assert "late" in verdict.detail
+        assert verdict.elapsed > verdict.threshold
+
+
+class TestForgeryAttack:
+    def test_optimized_adversary_defeats_timing(self):
+        """The [8] attack class: an adversary faster than the
+        verifier's assumption hides the redirection penalty entirely --
+        'security of this approach is uncertain'."""
+        sim, device, verifier = swatt_rig(
+            redirect_penalty=2e-3, forgery_speedup=0.5, infected=True
+        )
+        sim.schedule_at(0.5, verifier.challenge, device.name)
+        sim.run(until=60)
+        verdict = verifier.verdicts[0]
+        assert verdict.correct
+        assert verdict.accepted  # the scheme fails against this foe
+
+    def test_invalid_speedup_rejected(self):
+        sim = Simulator()
+        device = Device(sim, block_count=4, block_size=16)
+        device.attach_network(Channel(sim))
+        with pytest.raises(ConfigurationError):
+            SoftwareAttestation(device, forgery_speedup=0.0)
+
+
+class TestVerifierRobustness:
+    def test_unsolicited_response_ignored(self):
+        sim, device, verifier = swatt_rig()
+        from repro.ra.software import ChecksumResponse
+
+        endpoint = verifier.channel.make_endpoint("stranger")
+        endpoint.send(
+            verifier.endpoint.name,
+            "swatt_response",
+            ChecksumResponse("ghost", b"unknown", 0, 0.0, 0.0),
+        )
+        sim.run(until=5)
+        assert verifier.verdicts == []

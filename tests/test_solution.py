@@ -1,0 +1,68 @@
+"""Table 1 and Figure 3 as data."""
+
+from repro.core.solution import (
+    Feature,
+    SOLUTIONS,
+    render_taxonomy,
+    solution_by_key,
+    solution_table,
+    taxonomy_tree,
+)
+
+
+class TestFeature:
+    def test_marks(self):
+        assert Feature.YES.mark == "Y"
+        assert Feature.NO.mark == "x"
+        assert Feature.PARTIAL.mark == "~"
+
+
+class TestSolutions:
+    def test_six_rows_like_the_paper(self):
+        assert len(SOLUTIONS) == 6
+
+    def test_baseline_first(self):
+        assert "SMART" in SOLUTIONS[0].name
+        assert SOLUTIONS[0].runtime_overhead == "baseline"
+
+    def test_transcribed_detection_cells(self):
+        by_key = {s.mechanism_key: s for s in SOLUTIONS}
+        assert by_key["smart"].detects_transient is Feature.YES
+        assert by_key["inc-lock"].detects_transient is Feature.NO
+        assert by_key["dec-lock"].detects_transient is Feature.YES
+        assert by_key["smarm"].detects_relocating is Feature.PARTIAL
+        assert by_key["smarm"].detects_transient is Feature.NO
+        assert by_key["erasmus"].unattended is Feature.YES
+
+    def test_only_self_measurement_handles_unattended(self):
+        unattended = [
+            s for s in SOLUTIONS if s.unattended is Feature.YES
+        ]
+        assert len(unattended) == 1
+        assert unattended[0].mechanism_key == "erasmus"
+
+    def test_lookup_by_key(self):
+        assert solution_by_key("smarm").reference == "[7]"
+        assert solution_by_key("nonexistent") is None
+
+
+class TestRendering:
+    def test_table_has_all_rows(self):
+        table = solution_table()
+        for solution in SOLUTIONS:
+            assert solution.name.split(" (")[0] in table
+
+    def test_table_has_header_and_rule(self):
+        lines = solution_table().splitlines()
+        assert "Solution" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_taxonomy_two_families(self):
+        tree = taxonomy_tree()
+        assert len(tree) == 2
+        assert any("self-measurement" in k for k in tree)
+
+    def test_taxonomy_renders_all_mechanisms(self):
+        text = render_taxonomy()
+        for token in ("SMARM", "ERASMUS", "SeED", "Dec-Lock", "TyTAN"):
+            assert token in text

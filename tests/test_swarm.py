@@ -1,0 +1,134 @@
+"""Swarm topologies and collective attestation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.malware.transient import TransientMalware
+from repro.ra.verifier import Verifier
+from repro.sim.engine import Simulator
+from repro.swarm import SwarmAttestation, make_topology
+
+
+def swarm_rig(count=7, shape="tree"):
+    sim = Simulator()
+    topology = make_topology(sim, count=count, shape=shape)
+    verifier = Verifier(sim)
+    swarm = SwarmAttestation(topology, verifier)
+    return sim, topology, verifier, swarm
+
+
+class TestTopology:
+    def test_star_edges(self):
+        sim = Simulator()
+        topology = make_topology(sim, count=5, shape="star")
+        assert sorted(topology.edges) == [(0, 1), (0, 2), (0, 3), (0, 4)]
+
+    def test_line_distances(self):
+        sim = Simulator()
+        topology = make_topology(sim, count=5, shape="line")
+        assert topology.hop_distance(0, 4) == 4
+        assert topology.hop_distance(2, 2) == 0
+
+    def test_tree_spanning_children(self):
+        sim = Simulator()
+        topology = make_topology(sim, count=7, shape="tree")
+        children = topology.spanning_tree_children(root=0)
+        assert children[0] == [1, 2]
+        assert children[1] == [3, 4]
+        assert children[2] == [5, 6]
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_topology(Simulator(), count=4, shape="donut")
+
+    def test_device_index(self):
+        sim = Simulator()
+        topology = make_topology(sim, count=3, shape="line")
+        assert topology.device_index("node2") == 2
+        with pytest.raises(ConfigurationError):
+            topology.device_index("ghost")
+
+    def test_random_topology_connected(self):
+        pytest.importorskip("networkx")
+        sim = Simulator()
+        topology = make_topology(sim, count=10, shape="random")
+        for node in range(10):
+            topology.hop_distance(0, node)  # raises if disconnected
+
+    def test_latency_scales_with_hops(self):
+        sim = Simulator()
+        topology = make_topology(sim, count=5, shape="line",
+                                 per_hop_latency=0.01)
+        arrivals = []
+        endpoint = topology.devices[4].nic
+        endpoint.rx_signal.wait(lambda m: arrivals.append(sim.now))
+        topology.devices[0].nic.send("node4", "ping", None)
+        sim.run()
+        assert arrivals == [pytest.approx(0.04)]
+
+
+class TestCollectiveAttestation:
+    def test_all_healthy(self):
+        sim, topology, verifier, swarm = swarm_rig()
+        nonce = swarm.attest()
+        sim.run(until=30)
+        result = swarm.result_for(nonce)
+        assert result is not None
+        assert result.valid
+        assert result.all_healthy
+        assert result.total == 7
+        assert result.dirty_nodes == []
+
+    def test_single_infection_localized(self):
+        sim, topology, verifier, swarm = swarm_rig()
+        TransientMalware(topology.devices[5], target_block=3,
+                         infect_at=0.0)
+        nonce = swarm.attest()
+        sim.run(until=30)
+        result = swarm.result_for(nonce)
+        assert result.healthy == 6
+        assert result.dirty_nodes == ["node5"]
+        assert not result.all_healthy
+
+    def test_multiple_infections(self):
+        sim, topology, verifier, swarm = swarm_rig()
+        for index in (2, 4, 6):
+            TransientMalware(topology.devices[index], target_block=3,
+                             infect_at=0.0, name=f"m{index}")
+        nonce = swarm.attest()
+        sim.run(until=30)
+        result = swarm.result_for(nonce)
+        assert result.healthy == 4
+        assert result.dirty_nodes == ["node2", "node4", "node6"]
+
+    def test_star_and_line_shapes_work(self):
+        for shape, count in (("star", 6), ("line", 5)):
+            sim, topology, verifier, swarm = swarm_rig(count=count,
+                                                       shape=shape)
+            nonce = swarm.attest()
+            sim.run(until=60)
+            result = swarm.result_for(nonce)
+            assert result is not None and result.all_healthy
+
+    def test_successive_rounds(self):
+        sim, topology, verifier, swarm = swarm_rig(count=4, shape="star")
+        first = swarm.attest()
+        sim.run(until=30)
+        second = swarm.attest()
+        sim.run(until=60)
+        assert swarm.result_for(first).all_healthy
+        assert swarm.result_for(second).all_healthy
+        assert first != second
+
+    def test_aggregate_macs_verified_hop_by_hop(self):
+        """A forged child aggregate is flagged and its subtree counted
+        dirty instead of silently trusted."""
+        sim, topology, verifier, swarm = swarm_rig(count=3, shape="line")
+        # Tamper: node2's key at the verifier differs from the device's,
+        # so node1 (its parent) sees a bad MAC.
+        verifier.devices["node2"].key = b"\x00" * 32
+        nonce = swarm.attest()
+        sim.run(until=30)
+        result = swarm.result_for(nonce)
+        assert result is not None
+        assert not result.all_healthy

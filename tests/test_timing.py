@@ -1,0 +1,235 @@
+"""Calibrated ODROID-XU4 timing model (Figure 2 / Section 2.4)."""
+
+import pytest
+
+from repro.crypto.timing import (
+    HASH_NAMES,
+    SIGNATURE_NAMES,
+    HashCost,
+    OdroidXU4Model,
+    SignatureCost,
+    TimingModel,
+    figure2_sizes,
+)
+from repro.errors import ParameterError
+from repro.units import GiB, KiB, MiB
+
+MODEL = OdroidXU4Model()
+
+
+class TestAnchors:
+    """The in-text numbers of Section 2.4."""
+
+    def test_100mb_sha256_about_point9_seconds(self):
+        assert MODEL.hash_time("sha256", 100 * 10**6) == pytest.approx(
+            0.9, rel=0.05
+        )
+
+    def test_2gib_fastest_hash_about_14_seconds(self):
+        fastest = min(
+            MODEL.hash_time(name, 2 * GiB) for name in HASH_NAMES
+        )
+        assert fastest == pytest.approx(14.0, rel=0.05)
+
+    def test_1mib_exceeds_10ms_within_tolerance(self):
+        t = MODEL.hash_time("sha256", MiB)
+        assert 0.005 < t < 0.02
+
+    def test_1gib_firealarm_about_7_seconds(self):
+        fastest = min(MODEL.hash_time(name, GiB) for name in HASH_NAMES)
+        assert fastest == pytest.approx(7.0, rel=0.05)
+
+
+class TestModelShape:
+    def test_all_figure2_algorithms_present(self):
+        for name in HASH_NAMES:
+            MODEL.hash_time(name, 1000)
+        for name in SIGNATURE_NAMES:
+            MODEL.sign_time(name)
+            MODEL.verify_time(name)
+
+    def test_monotonic_in_size(self):
+        sizes = [KiB, MiB, 100 * MiB, GiB]
+        for name in HASH_NAMES:
+            times = [MODEL.hash_time(name, s) for s in sizes]
+            assert times == sorted(times)
+            assert times[0] < times[-1]
+
+    def test_signature_cost_size_independent(self):
+        small = MODEL.hash_and_sign_time("rsa2048", KiB)
+        large = MODEL.hash_and_sign_time("rsa2048", GiB)
+        sign = MODEL.sign_time("rsa2048")
+        # The signing component is identical; only hashing grows.
+        assert large - small == pytest.approx(
+            MODEL.hash_time("sha256", GiB) - MODEL.hash_time("sha256", KiB),
+            rel=1e-6,
+        )
+        assert sign == MODEL.sign_time("rsa2048")
+
+    def test_rsa_sign_cost_ordering(self):
+        assert (
+            MODEL.sign_time("rsa1024")
+            < MODEL.sign_time("rsa2048")
+            < MODEL.sign_time("rsa4096")
+        )
+
+    def test_rsa_verify_cheaper_than_sign(self):
+        for name in ("rsa1024", "rsa2048", "rsa4096"):
+            assert MODEL.verify_time(name) < MODEL.sign_time(name)
+
+    def test_ecdsa_verify_more_expensive_than_sign(self):
+        for name in ("ecdsa160", "ecdsa224", "ecdsa256"):
+            assert MODEL.verify_time(name) > MODEL.sign_time(name)
+
+    def test_sha512_slowest_blake2s_fastest(self):
+        size = 10 * MiB
+        times = {name: MODEL.hash_time(name, size) for name in HASH_NAMES}
+        assert max(times, key=times.get) == "sha512"
+        assert min(times, key=times.get) == "blake2s"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ParameterError):
+            MODEL.hash_time("md5", 100)
+        with pytest.raises(ParameterError):
+            MODEL.sign_time("dsa")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ParameterError):
+            MODEL.hash_time("sha256", -1)
+
+
+class TestComposites:
+    def test_mac_slightly_above_hash(self):
+        size = MiB
+        hash_time = MODEL.hash_time("sha256", size)
+        mac_time = MODEL.mac_time("sha256", size)
+        assert mac_time > hash_time
+        # Outer hash is negligible (the Section 2.4 observation).
+        assert (mac_time - hash_time) / hash_time < 0.01
+
+    def test_hash_and_sign_sum(self):
+        size = 10 * MiB
+        assert MODEL.hash_and_sign_time("ecdsa256", size) == pytest.approx(
+            MODEL.hash_time("sha256", size) + MODEL.sign_time("ecdsa256")
+        )
+
+    def test_measurement_time_dispatch(self):
+        size = MiB
+        assert MODEL.measurement_time(size) == MODEL.mac_time(
+            "sha256", size
+        )
+        assert MODEL.measurement_time(
+            size, signature="rsa1024"
+        ) == MODEL.hash_and_sign_time("rsa1024", size)
+
+
+class TestCrossover:
+    def test_crossover_near_1mib_for_most_signatures(self):
+        """The Section 2.4 claim: above ~1 MB hashing dominates "most"
+        signature algorithms."""
+        below_4mib = 0
+        for signature in SIGNATURE_NAMES:
+            size = MODEL.crossover_size("sha256", signature)
+            if size < 4 * MiB:
+                below_4mib += 1
+        assert below_4mib >= 4  # "most"
+
+    def test_rsa4096_has_largest_crossover(self):
+        sizes = {
+            signature: MODEL.crossover_size("sha256", signature)
+            for signature in SIGNATURE_NAMES
+        }
+        assert max(sizes, key=sizes.get) == "rsa4096"
+
+    def test_crossover_consistency(self):
+        """At the crossover size, hashing and signing cost the same."""
+        size = MODEL.crossover_size("sha256", "rsa2048")
+        assert MODEL.hash_time("sha256", int(size)) == pytest.approx(
+            MODEL.sign_time("rsa2048"), rel=0.01
+        )
+
+
+class TestSweeps:
+    def test_figure2_sizes_span_1kib_to_2gib(self):
+        sizes = figure2_sizes()
+        assert sizes[0] == KiB
+        assert sizes[-1] == 2 * GiB
+        assert sizes == sorted(sizes)
+
+    def test_sweep_series_shape(self):
+        sizes = [KiB, MiB]
+        series = MODEL.sweep(sizes, hash_algorithm="sha256")
+        assert [s for s, _ in series] == sizes
+        assert series[0][1] < series[1][1]
+
+
+class TestCustomModel:
+    def test_custom_tables(self):
+        model = TimingModel(
+            hash_costs={"sha256": HashCost(fixed=0.0, throughput=1e6)},
+            signature_costs={
+                "rsa1024": SignatureCost(sign=0.5, verify=0.1)
+            },
+            name="toy",
+        )
+        assert model.hash_time("sha256", 10**6) == pytest.approx(1.0)
+        assert model.crossover_size("sha256", "rsa1024") == pytest.approx(
+            0.5 * 1e6
+        )
+
+    def test_lock_and_switch_costs_exposed(self):
+        assert MODEL.lock_op_cost > 0
+        assert MODEL.context_switch_cost > 0
+
+
+class TestCalibration:
+    def test_calibrate_from_anchors(self):
+        from repro.crypto.timing import calibrate_from_anchors
+
+        model = calibrate_from_anchors(
+            {"sha256": (100 * 10**6, 0.9), "blake2s": (2 * GiB, 14.0)},
+            {"rsa2048": (5.6e-3, 0.18e-3)},
+            name="my-board",
+        )
+        assert model.name == "my-board"
+        assert model.hash_time("sha256", 100 * 10**6) == pytest.approx(
+            0.9, rel=1e-6
+        )
+        assert model.hash_time("blake2s", 2 * GiB) == pytest.approx(
+            14.0, rel=1e-6
+        )
+        assert model.sign_time("rsa2048") == 5.6e-3
+
+    def test_calibrated_model_composes(self):
+        from repro.crypto.timing import calibrate_from_anchors
+
+        model = calibrate_from_anchors(
+            {"sha256": (MiB, 0.01)}, {"ecdsa256": (1e-3, 4e-3)},
+        )
+        assert model.hash_and_sign_time("ecdsa256", MiB) == pytest.approx(
+            model.hash_time("sha256", MiB) + 1e-3
+        )
+
+    def test_device_accepts_calibrated_model(self):
+        from repro.crypto.timing import calibrate_from_anchors
+        from repro.sim.device import Device
+        from repro.sim.engine import Simulator
+
+        model = calibrate_from_anchors(
+            {"blake2s": (MiB, 0.02)}, {},
+        )
+        device = Device(Simulator(), block_count=4, block_size=16,
+                        sim_block_size=MiB, timing=model)
+        assert device.block_measure_time("blake2s") == pytest.approx(
+            0.02, rel=1e-3
+        )
+
+    def test_bad_anchor_rejected(self):
+        from repro.crypto.timing import calibrate_from_anchors
+
+        with pytest.raises(ParameterError):
+            calibrate_from_anchors({"sha256": (0, 1.0)}, {})
+        with pytest.raises(ParameterError):
+            calibrate_from_anchors({"sha256": (100, 1e-9)}, {})
+        with pytest.raises(ParameterError):
+            calibrate_from_anchors({}, {"rsa1024": (0.0, 1.0)})

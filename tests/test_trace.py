@@ -1,0 +1,62 @@
+"""Trace recording and querying."""
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+def populated():
+    trace = Trace()
+    trace.record(1.0, "mp.start", "smart")
+    trace.record(2.0, "mp.end", "smart", duration=1.0)
+    trace.record(3.0, "fire.start", "environment")
+    trace.record(4.0, "mp.start", "smarm")
+    return trace
+
+
+class TestQueries:
+    def test_len_and_iter(self):
+        trace = populated()
+        assert len(trace) == 4
+        assert [r.kind for r in trace] == [
+            "mp.start", "mp.end", "fire.start", "mp.start",
+        ]
+
+    def test_filter_by_kind(self):
+        assert len(populated().filter(kind="mp.start")) == 2
+
+    def test_filter_by_source(self):
+        assert len(populated().filter(source="smart")) == 2
+
+    def test_filter_by_predicate(self):
+        hits = populated().filter(predicate=lambda r: r.time > 2.5)
+        assert len(hits) == 2
+
+    def test_first_and_last(self):
+        trace = populated()
+        assert trace.first("mp.start").source == "smart"
+        assert trace.last("mp.start").source == "smarm"
+        assert trace.first("nothing") is None
+
+    def test_between(self):
+        assert len(populated().between(1.5, 3.5)) == 2
+
+    def test_kinds_in_first_appearance_order(self):
+        assert populated().kinds() == ["mp.start", "mp.end", "fire.start"]
+
+
+class TestRendering:
+    def test_str_includes_data(self):
+        record = TraceRecord(2.0, "mp.end", "smart", {"duration": 1.0})
+        text = str(record)
+        assert "mp.end" in text and "duration=1.0" in text
+
+    def test_render_filters_kinds(self):
+        text = populated().render(kinds={"fire.start"})
+        assert "fire.start" in text
+        assert "mp.end" not in text
+
+    def test_render_limit(self):
+        text = populated().render(limit=2)
+        assert len(text.splitlines()) == 2
+
+    def test_render_all(self):
+        assert len(populated().render().splitlines()) == 4

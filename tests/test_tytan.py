@@ -1,0 +1,125 @@
+"""TyTAN per-process measurement vs single and colluding malware."""
+
+import pytest
+
+from repro.malware.colluding import ColludingMalware
+from repro.malware.relocating import SelfRelocatingMalware
+from repro.ra.report import Verdict
+from repro.ra.tytan import (
+    ProcessPartition,
+    TytanAttestation,
+    install_partitions,
+)
+from repro.ra.service import OnDemandVerifier
+from repro.ra.verifier import Verifier
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel
+
+
+def tytan_rig(block_count=16):
+    sim = Simulator()
+    device = Device(sim, block_count=block_count, block_size=32)
+    install_partitions(
+        device,
+        [
+            ProcessPartition("procA", 0, block_count // 2),
+            ProcessPartition("procB", block_count // 2,
+                             block_count - block_count // 2),
+        ],
+    )
+    channel = Channel(sim, latency=0.002)
+    device.attach_network(channel)
+    verifier = Verifier(sim)
+    verifier.register_from_device(device)
+    driver = OnDemandVerifier(verifier, channel)
+    service = TytanAttestation(device, regions=["procA", "procB"])
+    service.install()
+    return sim, device, verifier, driver, service
+
+
+def request_verdict(sim, driver, device_name, at=1.0, until=120.0):
+    exchanges = []
+    sim.schedule_at(
+        at, lambda: exchanges.append(driver.request(device_name))
+    )
+    sim.run(until=until)
+    assert exchanges and exchanges[0].result is not None
+    return exchanges[0]
+
+
+class TestPartitions:
+    def test_install_creates_regions(self):
+        _, device, _, _, _ = tytan_rig()
+        assert set(device.memory.regions) == {"procA", "procB"}
+        assert device.memory.regions["procA"].mutable
+
+    def test_one_record_per_process(self):
+        sim, device, verifier, driver, service = tytan_rig()
+        exchange = request_verdict(sim, driver, device.name)
+        regions = [record.region for record in exchange.report.records]
+        assert regions == ["procA", "procB"]
+
+    def test_clean_device_healthy(self):
+        sim, device, verifier, driver, service = tytan_rig()
+        exchange = request_verdict(sim, driver, device.name)
+        assert exchange.result.verdict is Verdict.HEALTHY
+
+    def test_region_required(self):
+        sim = Simulator()
+        device = Device(sim, block_count=8, block_size=32)
+        channel = Channel(sim)
+        device.attach_network(channel)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TytanAttestation(device, regions=[])
+
+
+class TestSingleProcessMalware:
+    def test_caught_in_own_region(self):
+        """Single-process malware cannot run while its own pages are
+        measured, so it is captured in place."""
+        sim, device, verifier, driver, service = tytan_rig()
+        malware = ColludingMalware(
+            device, target_block=2, infect_at=0.1,
+            isolation_violated=False,
+        )
+        exchange = request_verdict(sim, driver, device.name)
+        assert exchange.result.verdict is Verdict.COMPROMISED
+
+    def test_relocating_within_own_region_caught(self):
+        sim, device, verifier, driver, service = tytan_rig()
+        malware = SelfRelocatingMalware(
+            device, target_block=2, infect_at=0.1,
+            strategy="to-measured", home_region="procA",
+        )
+        malware.home_region = "procA"
+        exchange = request_verdict(sim, driver, device.name)
+        assert exchange.result.verdict is Verdict.COMPROMISED
+
+
+class TestColludingMalware:
+    def test_colluding_pair_escapes(self):
+        """Malware spread over colluding processes defeats per-process
+        measurement (Section 3.1) -- the partner moves the payload out
+        of whichever region is being measured."""
+        sim, device, verifier, driver, service = tytan_rig()
+        malware = ColludingMalware(
+            device, target_block=2, infect_at=0.1,
+            isolation_violated=True,
+        )
+        exchange = request_verdict(sim, driver, device.name)
+        assert exchange.result.verdict is Verdict.HEALTHY
+        # ... yet the device is still infected:
+        assert malware.resident
+
+    def test_colluding_hops_between_regions(self):
+        sim, device, verifier, driver, service = tytan_rig()
+        malware = ColludingMalware(
+            device, target_block=2, infect_at=0.1,
+            isolation_violated=True,
+        )
+        request_verdict(sim, driver, device.name)
+        moves = [r for r in malware.history if r.action == "relocate"]
+        assert len(moves) >= 2  # out of procA, then out of procB

@@ -1,0 +1,177 @@
+"""Secure update and secure erasure built on RA (Section 1's services)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.malware.transient import TransientMalware
+from repro.ra.report import Verdict
+from repro.ra.update import (
+    UpdateCoordinator,
+    UpdateService,
+    erasure_fill,
+)
+from repro.ra.verifier import Verifier
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel
+
+
+def update_rig():
+    sim = Simulator()
+    device = Device(sim, block_count=12, block_size=32)
+    device.standard_layout()
+    channel = Channel(sim, latency=0.002)
+    device.attach_network(channel)
+    verifier = Verifier(sim)
+    verifier.register_from_device(device)
+    service = UpdateService(device)
+    service.install()
+    coordinator = UpdateCoordinator(verifier, channel)
+    return sim, device, verifier, service, coordinator
+
+
+def new_firmware(device, blocks):
+    return {
+        index: bytes([0xF0 + index % 16]) * device.memory.block_size
+        for index in blocks
+    }
+
+
+class TestSecureUpdate:
+    def test_update_applied_and_attested(self):
+        sim, device, verifier, service, coordinator = update_rig()
+        firmware = new_firmware(device, [1, 2])
+        outcome = coordinator.push_update(device.name, firmware)
+        sim.run(until=30)
+        assert outcome.installed
+        assert outcome.result.verdict is Verdict.HEALTHY
+        for index, content in firmware.items():
+            assert device.memory.read_block(index) == content
+        assert service.updates_applied == 1
+
+    def test_receipt_is_challenge_bound(self):
+        sim, device, verifier, service, coordinator = update_rig()
+        outcome = coordinator.push_update(
+            device.name, new_firmware(device, [3])
+        )
+        sim.run(until=30)
+        assert outcome.confirmed_at is not None
+        assert outcome.confirmed_at > outcome.requested_at
+
+    def test_unapplied_update_fails_verification(self):
+        """A prover that silently skips the update cannot fake the
+        receipt: the verifier expects the *new* image."""
+        sim, device, verifier, service, coordinator = update_rig()
+
+        # Sabotage: the device's update handler is replaced by a no-op
+        # that still runs the attestation.
+        original = service._apply_update
+
+        def skip_writes(proc, message):
+            payload = message.payload
+            yield from service._measure_and_reply(
+                proc, payload["nonce"], message.src, "update"
+            )
+
+        service._apply_update = skip_writes
+        outcome = coordinator.push_update(
+            device.name, new_firmware(device, [1])
+        )
+        sim.run(until=30)
+        assert not outcome.installed
+        assert outcome.result.verdict is Verdict.COMPROMISED
+
+    def test_out_of_range_update_rejected(self):
+        sim, device, verifier, service, coordinator = update_rig()
+        with pytest.raises(ConfigurationError):
+            coordinator.push_update(device.name, {99: b"\x00" * 32})
+
+    def test_wrong_size_update_rejected(self):
+        sim, device, verifier, service, coordinator = update_rig()
+        with pytest.raises(ConfigurationError):
+            coordinator.push_update(device.name, {1: b"short"})
+
+    def test_subsequent_attestations_use_new_reference(self):
+        """After a confirmed update the new image is the healthy state."""
+        from repro.ra.service import OnDemandVerifier
+        from repro.ra.smart import SmartAttestation
+
+        sim, device, verifier, service, coordinator = update_rig()
+        SmartAttestation(device).install()
+        driver = OnDemandVerifier(verifier, channel=coordinator.channel,
+                                  endpoint_name="vrf-od")
+        coordinator.push_update(device.name, new_firmware(device, [1]))
+        exchanges = []
+        sim.schedule_at(
+            10.0, lambda: exchanges.append(driver.request(device.name))
+        )
+        sim.run(until=30)
+        assert exchanges[0].result.verdict is Verdict.HEALTHY
+
+
+class TestSecureErasure:
+    def test_erasure_fills_and_attests(self):
+        sim, device, verifier, service, coordinator = update_rig()
+        outcome = coordinator.push_erasure(device.name, seed=b"wipe")
+        sim.run(until=30)
+        assert outcome.installed
+        for index in range(device.block_count):
+            assert device.memory.read_block(index) == erasure_fill(
+                b"wipe", index, device.memory.block_size
+            )
+
+    def test_erasure_destroys_resident_malware(self):
+        """The PoSE argument: filling *all* memory leaves malware
+        nowhere to hide -- its payload is verifiably gone."""
+        sim, device, verifier, service, coordinator = update_rig()
+        malware = TransientMalware(device, target_block=5, infect_at=0.0)
+        sim.run(until=1.0)
+        assert device.memory.read_block(5) == malware.payload
+        outcome = coordinator.push_erasure(device.name, seed=b"wipe")
+        sim.run(until=30)
+        assert outcome.installed
+        assert device.memory.read_block(5) != malware.payload
+
+    def test_partial_erasure_detected(self):
+        """A cheating prover that spares one block (to preserve its
+        malware) fails the proof."""
+        sim, device, verifier, service, coordinator = update_rig()
+        TransientMalware(device, target_block=5, infect_at=0.0)
+
+        def cheating_erasure(proc, message):
+            from repro.ra.update import erasure_fill as fill
+            from repro.sim.process import Compute
+
+            payload = message.payload
+            seed = payload["seed"]
+            memory = device.memory
+            for block_index in range(memory.block_count):
+                if block_index == 5:
+                    continue  # keep the malware alive
+                yield Compute(service.write_time_per_block)
+                memory.write(
+                    block_index,
+                    fill(seed, block_index, memory.block_size),
+                    "erase",
+                )
+            yield from service._measure_and_reply(
+                proc, payload["nonce"], message.src, "erasure"
+            )
+
+        service._apply_erasure = cheating_erasure
+        outcome = coordinator.push_erasure(device.name, seed=b"wipe")
+        sim.run(until=30)
+        assert not outcome.installed
+        assert outcome.result.verdict is Verdict.COMPROMISED
+
+    def test_erasure_fill_deterministic_and_distinct(self):
+        a = erasure_fill(b"s", 0, 32)
+        assert a == erasure_fill(b"s", 0, 32)
+        assert a != erasure_fill(b"s", 1, 32)
+        assert a != erasure_fill(b"t", 0, 32)
+
+    def test_random_seed_generated_when_omitted(self):
+        sim, device, verifier, service, coordinator = update_rig()
+        outcome = coordinator.push_erasure(device.name)
+        sim.run(until=30)
+        assert outcome.installed
