@@ -7,8 +7,8 @@ deadline-miss rate, blocked-write counts and lock hold times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Iterable, Optional
 
 from repro.sim.device import Device
 from repro.sim.task import PeriodicTask, TaskStats
@@ -44,6 +44,28 @@ class AvailabilityReport:
             f"write_faults={self.write_faults} "
             f"locked={self.locked_block_seconds:.3f} block-s"
         )
+
+    # -- serialization (reports cross process boundaries in fleet runs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON representation, inverse of :meth:`from_dict`."""
+        data = asdict(self)
+        data["per_task"] = {
+            name: asdict(stats) for name, stats in sorted(self.per_task.items())
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AvailabilityReport":
+        payload = dict(data)
+        per_task = {
+            name: TaskStats(**stats)
+            for name, stats in payload.pop("per_task", {}).items()
+        }
+        known = {f.name for f in fields(cls)}
+        report = cls(**{k: v for k, v in payload.items() if k in known})
+        report.per_task = per_task
+        return report
 
 
 def summarize_tasks(

@@ -11,6 +11,12 @@ Each subcommand regenerates one paper artifact on stdout::
     repro firealarm       # the Section 2.5 scenario
     repro smarm           # SMARM escape probabilities (Section 3.2)
     repro all             # everything
+
+and the fleet campaign runner (docs/fleet.md)::
+
+    repro fleet plan      # expand a campaign into its run list
+    repro fleet run       # execute it (serial or process pool)
+    repro fleet summarize # re-aggregate existing artifacts
 """
 
 from __future__ import annotations
@@ -76,6 +82,46 @@ def _build_parser() -> argparse.ArgumentParser:
     swatt.add_argument("--speedup", type=float, default=0.5,
                        help="the optimized adversary's speed factor")
 
+    fleet = sub.add_parser(
+        "fleet", help="campaign runner: plan / run / summarize"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def add_campaign_options(p):
+        p.add_argument("--campaign", default="qoa",
+                       help="canned campaign name (qoa, matrix, locking)")
+        p.add_argument("--spec", default=None,
+                       help="JSON campaign spec file (overrides --campaign)")
+        p.add_argument("--seeds", type=int, default=None,
+                       help="seed count override for canned campaigns")
+        p.add_argument("--limit", type=int, default=None,
+                       help="truncate the plan to the first N runs")
+
+    plan = fleet_sub.add_parser("plan", help="expand and print the run list")
+    add_campaign_options(plan)
+
+    run = fleet_sub.add_parser("run", help="execute a campaign")
+    add_campaign_options(run)
+    run.add_argument("--workers", type=int, default=0,
+                     help="worker processes (0/1 = serial)")
+    run.add_argument("--mode", default="auto",
+                     choices=["auto", "serial", "parallel"])
+    run.add_argument("--shard-size", type=int, default=8)
+    run.add_argument("--retries", type=int, default=1,
+                     help="extra attempts for a raising run")
+    run.add_argument("--timeout", type=float, default=0.0,
+                     help="per-run wall-clock budget, seconds (0 = none)")
+    run.add_argument("--out", default="fleet-artifacts",
+                     help="artifact output directory")
+    run.add_argument("--resume", action="store_true",
+                     help="skip runs already in the artifact directory")
+
+    summ = fleet_sub.add_parser(
+        "summarize", help="re-aggregate an existing runs.jsonl"
+    )
+    summ.add_argument("--campaign", default="qoa")
+    summ.add_argument("--out", default="fleet-artifacts")
+
     sub.add_parser("all", help="run every experiment")
     return parser
 
@@ -113,7 +159,91 @@ def _run(command: str, args: argparse.Namespace) -> str:
         return _run_swarm(args)
     if command == "swatt":
         return _run_swatt(args)
+    if command == "fleet":
+        return _run_fleet(args)
     raise AssertionError(f"unhandled command {command!r}")
+
+
+def _fleet_campaign(args: argparse.Namespace):
+    import json
+
+    from repro.fleet import CampaignSpec, canned_campaign
+
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return CampaignSpec.from_dict(json.load(handle))
+    return canned_campaign(args.campaign, seed_count=args.seeds)
+
+
+def _run_fleet(args: argparse.Namespace) -> str:
+    from repro import fleet
+
+    if args.fleet_command == "summarize":
+        paths = fleet.artifact_paths(args.out, args.campaign)
+        if not paths.runs.exists():
+            raise SystemExit(
+                f"no artifacts at {paths.runs}; run "
+                f"`repro fleet run --campaign {args.campaign}` first"
+            )
+        results = fleet.read_results_jsonl(paths.runs)
+        return fleet.summarize(results, campaign=args.campaign).render()
+
+    campaign = _fleet_campaign(args)
+    specs = campaign.plan()
+    if args.limit is not None:
+        specs = specs[: args.limit]
+
+    if args.fleet_command == "plan":
+        lines = [
+            f"campaign {campaign.name} (hash {campaign.spec_hash}): "
+            f"{len(specs)} runs",
+            f"{'run_id':<44} {'mechanism':<10} {'adversary':<11} "
+            f"{'seed':>5}  swept fields",
+        ]
+        axis_keys = sorted(campaign.axes)
+        for spec in specs:
+            swept = " ".join(
+                f"{key}={getattr(spec, key)}" for key in axis_keys
+            )
+            lines.append(
+                f"{spec.run_id:<44} {spec.mechanism:<10} "
+                f"{spec.adversary:<11} {spec.seed:>5}  {swept}"
+            )
+        return "\n".join(lines)
+
+    # fleet run
+    if args.timeout > 0:
+        specs = [spec.with_overrides(timeout=args.timeout) for spec in specs]
+    done = []
+    paths = fleet.artifact_paths(args.out, campaign.name)
+    if args.resume and paths.runs.exists():
+        done = fleet.read_results_jsonl(paths.runs)
+        specs_to_run = fleet.pending_specs(specs, done)
+    else:
+        specs_to_run = specs
+    config = fleet.ExecutorConfig(
+        workers=args.workers,
+        mode=args.mode,
+        shard_size=args.shard_size,
+        retries=args.retries,
+    )
+    lines = []
+    report = fleet.execute_campaign(
+        specs_to_run, config, log=lines.append
+    )
+    kept = {result.run_id for result in report.results}
+    merged = [r for r in done if r.run_id not in kept] + report.results
+    wanted = {spec.run_id for spec in specs}
+    merged = [r for r in merged if r.run_id in wanted]
+    paths = fleet.write_artifacts(args.out, campaign, merged, report)
+    summary = fleet.summarize(merged, campaign=campaign.name)
+    lines.extend([
+        report.summary_line(),
+        f"artifacts: {paths.root}",
+        "",
+        summary.render(),
+    ])
+    return "\n".join(lines)
 
 
 def _run_swarm(args: argparse.Namespace) -> str:

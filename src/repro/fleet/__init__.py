@@ -1,0 +1,87 @@
+"""Fleet campaigns: plan, execute and aggregate simulation sweeps.
+
+The fleet layer sits *above* the single-run stack (``sim``/``ra``/
+``apps``): it turns declarative :class:`CampaignSpec` sweeps into
+deterministic :class:`RunSpec` plans, executes them serially or across
+a process pool (:func:`execute_campaign`), and folds the structured
+:class:`RunResult` telemetry into JSONL artifacts and per-mechanism
+summary tables.  See docs/fleet.md for the artifact layout.
+"""
+
+from repro.fleet.campaign import (
+    CANNED_CAMPAIGNS,
+    CampaignSpec,
+    RunSpec,
+    canned_campaign,
+    locking_availability_campaign,
+    matrix_fleet_campaign,
+    qoa_fleet_campaign,
+)
+from repro.fleet.executor import (
+    ExecutionReport,
+    ExecutorConfig,
+    FleetTimeout,
+    InjectedFailure,
+    execute_campaign,
+    execute_run,
+    make_shards,
+    run_one,
+)
+from repro.fleet.results import (
+    ArtifactPaths,
+    CampaignManifest,
+    CampaignSummary,
+    GroupSummary,
+    artifact_paths,
+    pending_specs,
+    percentile,
+    read_manifest,
+    read_results_jsonl,
+    summarize,
+    write_artifacts,
+    write_results_jsonl,
+)
+from repro.fleet.telemetry import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunResult,
+    failure_result,
+    verdict_histogram,
+)
+
+__all__ = [
+    "CANNED_CAMPAIGNS",
+    "ArtifactPaths",
+    "CampaignManifest",
+    "CampaignSpec",
+    "CampaignSummary",
+    "ExecutionReport",
+    "ExecutorConfig",
+    "FleetTimeout",
+    "GroupSummary",
+    "InjectedFailure",
+    "RunResult",
+    "RunSpec",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "artifact_paths",
+    "canned_campaign",
+    "execute_campaign",
+    "execute_run",
+    "failure_result",
+    "locking_availability_campaign",
+    "make_shards",
+    "matrix_fleet_campaign",
+    "pending_specs",
+    "percentile",
+    "qoa_fleet_campaign",
+    "read_manifest",
+    "read_results_jsonl",
+    "run_one",
+    "summarize",
+    "verdict_histogram",
+    "write_artifacts",
+    "write_results_jsonl",
+]

@@ -1,0 +1,335 @@
+"""Campaign specs and the planner.
+
+A *campaign* is a declarative sweep over the experiment space: which
+RA mechanisms to run, against which adversaries, on which device
+geometries, with which workloads and seeds.  The planner expands a
+:class:`CampaignSpec` into a deterministic, ordered list of
+:class:`RunSpec` -- one fully self-contained description per
+simulation, with a stable content-derived ``run_id`` so reruns are
+reproducible, shardable and resumable.
+
+Nothing here touches a :class:`~repro.sim.engine.Simulator`; planning
+is pure data.  Execution lives in :mod:`repro.fleet.executor`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.units import MiB
+
+#: mechanisms the fleet worker knows how to instantiate.  ``crashtest``
+#: and ``sleeptest`` are deliberate failure injectors for exercising
+#: the executor's retry/timeout paths (documented in docs/fleet.md).
+KNOWN_MECHANISMS = (
+    "smart",
+    "all-lock",
+    "dec-lock",
+    "inc-lock",
+    "no-lock",
+    "smarm",
+    "erasmus",
+    "seed",
+    "crashtest",
+    "sleeptest",
+)
+
+KNOWN_ADVERSARIES = ("none", "transient", "relocating")
+
+KNOWN_WORKLOADS = ("none", "firealarm", "writers")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined simulation run.
+
+    Every field participates in the ``run_id`` hash, so two specs with
+    identical fields are the *same* run: executing either produces the
+    same :class:`~repro.fleet.telemetry.RunResult` (modulo wall-clock).
+    """
+
+    campaign: str = "adhoc"
+    mechanism: str = "smart"
+    adversary: str = "none"
+    seed: int = 7
+    # -- device geometry ------------------------------------------------
+    block_count: int = 16
+    block_size: int = 32
+    sim_block_size: int = MiB
+    algorithm: str = "blake2s"
+    # -- protocol timing ------------------------------------------------
+    horizon: float = 36.0
+    request_at: float = 2.0
+    rounds: int = 13  # SMARM measurement rounds (paper's 10^-6 bound)
+    t_m: float = 4.0  # self-measurement period (ERASMUS / SeED gap scale)
+    t_c: float = 16.0  # collection period (ERASMUS)
+    # -- adversary shape ------------------------------------------------
+    infect_at: float = 0.5
+    #: adds a seed-derived uniform offset in [0, infect_jitter) to
+    #: infect_at, so seed replication samples the infection *phase*
+    #: (the random variable behind the QoA detection probability)
+    infect_jitter: float = 0.0
+    dwell: float = 0.0  # transient residency; 0 = reactive dodger
+    malware_block: int = 2
+    # -- workload -------------------------------------------------------
+    workload: str = "firealarm"
+    task_period: float = 0.1
+    task_wcet: float = 0.002
+    task_priority: int = 100
+    mp_priority: int = 50
+    writer_tasks: int = 2
+    # -- execution limits ----------------------------------------------
+    timeout: float = 0.0  # wall-clock seconds per run; 0 = unlimited
+    trace_limit: int = 4096  # ring-buffer bound on the device trace
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in KNOWN_MECHANISMS:
+            raise ConfigurationError(
+                f"unknown mechanism {self.mechanism!r}; "
+                f"known: {KNOWN_MECHANISMS}"
+            )
+        if self.adversary not in KNOWN_ADVERSARIES:
+            raise ConfigurationError(
+                f"unknown adversary {self.adversary!r}; "
+                f"known: {KNOWN_ADVERSARIES}"
+            )
+        if self.workload not in KNOWN_WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; "
+                f"known: {KNOWN_WORKLOADS}"
+            )
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+
+    # -- identity -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunSpec fields: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    @property
+    def spec_digest(self) -> str:
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def run_id(self) -> str:
+        """Stable, human-scannable identity: mechanism, adversary, seed
+        plus a content hash covering every field."""
+        return (
+            f"{self.mechanism}-{self.adversary}-"
+            f"s{self.seed:04d}-{self.spec_digest[:12]}"
+        )
+
+    def with_overrides(self, **overrides: Any) -> "RunSpec":
+        return replace(self, **overrides)
+
+
+class CampaignSpec:
+    """A declarative sweep: fixed ``base`` fields, swept ``axes``.
+
+    ``axes`` maps :class:`RunSpec` field names to value lists; the
+    planner takes the cartesian product in sorted-key order (so the
+    plan is independent of dict insertion order), with ``seeds`` as the
+    innermost axis.  Example::
+
+        CampaignSpec(
+            name="qoa",
+            base={"mechanism": "erasmus", "adversary": "transient"},
+            axes={"t_m": [2.0, 4.0], "dwell": [1.0, 3.0]},
+            seeds=range(5),
+        )
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: Optional[Dict[str, Any]] = None,
+        axes: Optional[Dict[str, Sequence[Any]]] = None,
+        seeds: Iterable[int] = (7,),
+    ) -> None:
+        if not name or "/" in name:
+            raise ConfigurationError(
+                "campaign name must be a non-empty path-safe string"
+            )
+        self.name = name
+        self.base = dict(base or {})
+        self.axes = {key: list(values) for key, values in (axes or {}).items()}
+        self.seeds = [int(s) for s in seeds]
+        if not self.seeds:
+            raise ConfigurationError("campaign needs at least one seed")
+        known = {f.name for f in fields(RunSpec)}
+        for source, keys in (("base", self.base), ("axes", self.axes)):
+            unknown = set(keys) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown RunSpec fields in {source}: {sorted(unknown)}"
+                )
+        for key, values in self.axes.items():
+            if not values:
+                raise ConfigurationError(f"axis {key!r} has no values")
+        overlap = set(self.axes) & set(self.base)
+        if overlap:
+            raise ConfigurationError(
+                f"fields both fixed and swept: {sorted(overlap)}"
+            )
+        if "seed" in self.axes or "seed" in self.base:
+            raise ConfigurationError("sweep seeds via the 'seeds' argument")
+
+    # -- planning -------------------------------------------------------
+
+    def plan(self) -> List[RunSpec]:
+        """Expand into the full, deterministically-ordered run list."""
+        axis_keys = sorted(self.axes)
+        axis_values = [self.axes[key] for key in axis_keys]
+        specs: List[RunSpec] = []
+        for combo in itertools.product(*axis_values):
+            fields_for_run = dict(self.base)
+            fields_for_run.update(dict(zip(axis_keys, combo)))
+            for seed in self.seeds:
+                specs.append(
+                    RunSpec(campaign=self.name, seed=seed, **fields_for_run)
+                )
+        return specs
+
+    @property
+    def run_count(self) -> int:
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        return count * len(self.seeds)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": dict(sorted(self.base.items())),
+            "axes": {k: self.axes[k] for k in sorted(self.axes)},
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        return cls(
+            name=data["name"],
+            base=data.get("base"),
+            axes=data.get("axes"),
+            seeds=data.get("seeds", (7,)),
+        )
+
+    @property
+    def spec_hash(self) -> str:
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Canned campaigns
+# ---------------------------------------------------------------------------
+
+
+def qoa_fleet_campaign(seed_count: int = 6) -> CampaignSpec:
+    """Figure 5's QoA story at fleet scale.
+
+    Sweeps the self-measurement period ``T_M`` against transient
+    residency times around it: infections shorter than the measurement
+    gap mostly escape, infections spanning a measurement are caught at
+    the next collection -- the fleet turns the figure's two anecdotes
+    into detection-probability curves with error bars.
+    """
+    return CampaignSpec(
+        name="qoa-fleet",
+        base={
+            "mechanism": "erasmus",
+            "adversary": "transient",
+            "block_count": 96,
+            "sim_block_size": 2 * MiB,
+            "t_c": 12.0,
+            "horizon": 36.0,
+            "infect_at": 2.0,
+            "infect_jitter": 8.0,
+            "task_period": 0.05,
+            "workload": "firealarm",
+        },
+        axes={
+            "t_m": [2.0, 4.0, 8.0],
+            "dwell": [1.0, 3.0, 6.0],
+        },
+        seeds=range(seed_count),
+    )
+
+
+def matrix_fleet_campaign(seed_count: int = 3) -> CampaignSpec:
+    """Table 1's mechanism x adversary matrix, many seeds deep."""
+    return CampaignSpec(
+        name="matrix-fleet",
+        base={
+            "block_count": 16,
+            "sim_block_size": 2 * MiB,
+            "horizon": 30.0,
+            "workload": "firealarm",
+        },
+        axes={
+            "mechanism": [
+                "smart", "all-lock", "dec-lock", "inc-lock",
+                "smarm", "erasmus", "seed",
+            ],
+            "adversary": ["none", "transient", "relocating"],
+        },
+        seeds=range(seed_count),
+    )
+
+
+def locking_availability_campaign(seed_count: int = 4) -> CampaignSpec:
+    """Locking-policy availability damage under a writer workload."""
+    return CampaignSpec(
+        name="locking-availability",
+        base={
+            "adversary": "none",
+            "workload": "writers",
+            "block_count": 24,
+            "sim_block_size": 4 * MiB,
+            "horizon": 30.0,
+        },
+        axes={
+            "mechanism": ["no-lock", "all-lock", "dec-lock", "inc-lock"],
+            "writer_tasks": [2, 4],
+        },
+        seeds=range(seed_count),
+    )
+
+
+CANNED_CAMPAIGNS: Dict[str, Callable[[int], CampaignSpec]] = {
+    "qoa": qoa_fleet_campaign,
+    "matrix": matrix_fleet_campaign,
+    "locking": locking_availability_campaign,
+}
+
+
+def canned_campaign(name: str, seed_count: Optional[int] = None) -> CampaignSpec:
+    """Look up a canned campaign by name."""
+    factory = CANNED_CAMPAIGNS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown campaign {name!r}; known: {sorted(CANNED_CAMPAIGNS)}"
+        )
+    return factory() if seed_count is None else factory(seed_count)

@@ -1,0 +1,548 @@
+"""Sharded campaign execution.
+
+The executor turns a planned list of :class:`~repro.fleet.campaign.RunSpec`
+into :class:`~repro.fleet.telemetry.RunResult` records.  Runs share
+nothing: each worker builds its own :class:`~repro.sim.engine.Simulator`,
+:class:`~repro.sim.device.Device` and :class:`~repro.ra.verifier.Verifier`
+from the spec, so shards can execute in any process in any order and
+still produce byte-identical deterministic telemetry.
+
+Execution modes:
+
+* **serial** -- in-process loop; the debugging/test baseline;
+* **parallel** -- shards dispatched over a ``ProcessPoolExecutor``;
+  degrades per-shard to in-process execution when a worker crashes,
+  and degrades wholesale to serial mode when no pool can be created.
+
+Failure containment, per run: a wall-clock timeout (``RunSpec.timeout``,
+enforced with ``SIGALRM`` where available), bounded retries for raising
+runs, and structured ``error``/``timeout`` results instead of
+exceptions -- one bad run never takes down a campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.apps.firealarm import FireAlarmApp
+from repro.apps.metrics import summarize_tasks
+from repro.apps.workloads import WriterWorkload
+from repro.core.qoa import QoAParameters
+from repro.core.tradeoff import ScenarioConfig, standard_mechanisms
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ConfigurationError
+from repro.fleet.campaign import RunSpec
+from repro.fleet.telemetry import (
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    RunResult,
+    failure_result,
+    verdict_histogram,
+)
+from repro.malware.relocating import SelfRelocatingMalware
+from repro.malware.transient import TransientMalware
+from repro.ra.erasmus import CollectorVerifier
+from repro.ra.measurement import MeasurementConfig
+from repro.ra.report import Verdict
+from repro.ra.seed import SeedMonitor, SeedService
+from repro.ra.service import OnDemandVerifier
+from repro.ra.verifier import Verifier
+from repro.sim.device import Device
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel
+from repro.sim.trace import Trace
+
+
+class FleetTimeout(Exception):
+    """A run exceeded its wall-clock budget."""
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by the ``crashtest`` mechanism (executor test hook)."""
+
+
+# ---------------------------------------------------------------------------
+# The worker: one RunSpec -> one simulated scenario -> one RunResult
+# ---------------------------------------------------------------------------
+
+
+def _scenario_config(spec: RunSpec) -> ScenarioConfig:
+    return ScenarioConfig(
+        block_count=spec.block_count,
+        block_size=spec.block_size,
+        sim_block_size=spec.sim_block_size,
+        algorithm=spec.algorithm,
+        request_at=spec.request_at,
+        horizon=spec.horizon,
+        smarm_rounds=spec.rounds,
+        erasmus_period=spec.t_m,
+        task_period=spec.task_period,
+        task_wcet=spec.task_wcet,
+        task_priority=spec.task_priority,
+        mp_priority=spec.mp_priority,
+        malware_block=spec.malware_block,
+        infect_at=spec.infect_at,
+    )
+
+
+def _effective_infect_at(spec: RunSpec) -> float:
+    """Infection time, with the seed-derived phase offset applied."""
+    if spec.infect_jitter <= 0:
+        return spec.infect_at
+    drbg = HmacDrbg(
+        f"{spec.campaign}-{spec.seed}-infect-phase".encode("utf-8")
+    )
+    return spec.infect_at + drbg.uniform() * spec.infect_jitter
+
+
+def _install_adversary(device: Device, spec: RunSpec) -> None:
+    if spec.adversary == "none":
+        return
+    infect_at = _effective_infect_at(spec)
+    if spec.adversary == "transient":
+        explicit_dwell = spec.dwell > 0
+        TransientMalware(
+            device,
+            target_block=spec.malware_block,
+            infect_at=infect_at,
+            leave_at=infect_at + spec.dwell if explicit_dwell else None,
+            reactive=not explicit_dwell,
+            reappear=not explicit_dwell,
+        )
+        return
+    if spec.adversary == "relocating":
+        SelfRelocatingMalware(
+            device,
+            target_block=spec.malware_block,
+            infect_at=infect_at,
+            strategy="to-measured",
+            rng_seed=spec.seed,
+        )
+        return
+    raise ConfigurationError(f"unknown adversary {spec.adversary!r}")
+
+
+def _qoa_stats(spec: RunSpec) -> Dict[str, float]:
+    if spec.mechanism not in ("erasmus", "seed"):
+        return {}
+    params = QoAParameters(t_m=spec.t_m, t_c=spec.t_c)
+    stats = {
+        "t_m": spec.t_m,
+        "t_c": spec.t_c,
+        "worst_detection_latency": params.worst_detection_latency,
+        "measurements_per_collection": params.measurements_per_collection,
+    }
+    if spec.dwell > 0:
+        stats["dwell"] = spec.dwell
+        stats["detection_probability"] = params.detection_probability(
+            spec.dwell
+        )
+    return stats
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Build and run one scenario; raises on internal failure (the
+    executor wraps this with retry/timeout handling)."""
+    if spec.mechanism == "crashtest":
+        raise InjectedFailure("injected crashtest failure")
+    if spec.mechanism == "sleeptest":
+        # Burns *wall-clock* time equal to the simulated horizon --
+        # only useful for exercising the timeout path.
+        time.sleep(spec.horizon)
+        return RunResult(run_id=spec.run_id, spec=spec.to_dict(),
+                         sim_time=spec.horizon)
+
+    sim = Simulator()
+    device = Device(
+        sim,
+        block_count=spec.block_count,
+        block_size=spec.block_size,
+        sim_block_size=spec.sim_block_size,
+        seed=spec.seed,
+        trace=Trace(max_records=spec.trace_limit),
+    )
+    device.standard_layout()
+    channel = Channel(sim, latency=0.002, trace=device.trace)
+    device.attach_network(channel)
+    verifier = Verifier(sim)
+    verifier.register_from_device(device)
+
+    tasks = []
+    if spec.workload == "firealarm":
+        app = FireAlarmApp(
+            device,
+            period=spec.task_period,
+            sample_wcet=spec.task_wcet,
+            priority=spec.task_priority,
+            data_block=device.memory.regions["data"].end - 1,
+        )
+        tasks.append(app.task)
+    elif spec.workload == "writers":
+        workload = WriterWorkload(
+            device,
+            task_count=spec.writer_tasks,
+            period=spec.task_period,
+            wcet=spec.task_wcet,
+            priority=spec.task_priority,
+        ).build()
+        tasks.extend(workload.tasks)
+
+    _install_adversary(device, spec)
+
+    cfg = _scenario_config(spec)
+    service: Any = None
+    collector: Optional[CollectorVerifier] = None
+    seed_service: Optional[SeedService] = None
+    if spec.mechanism == "seed":
+        shared = hashlib.sha256(
+            f"fleet-seed-{spec.campaign}-{spec.seed}".encode()
+        ).digest()[:16]
+        gap_lo, gap_hi = 0.5 * spec.t_m, 1.5 * spec.t_m
+        triggers = max(1, int(spec.horizon / spec.t_m))
+        seed_service = SeedService(
+            device,
+            shared,
+            min_gap=gap_lo,
+            max_gap=gap_hi,
+            trigger_count=triggers,
+            config=MeasurementConfig(
+                algorithm=spec.algorithm,
+                order="sequential",
+                atomic=False,
+                priority=spec.mp_priority,
+                normalize_mutable=True,
+            ),
+        )
+        SeedMonitor(
+            verifier, channel, device.name, shared,
+            min_gap=gap_lo, max_gap=gap_hi, trigger_count=triggers,
+        )
+        seed_service.start()
+    else:
+        setup = standard_mechanisms()[spec.mechanism]
+        service = setup.build(device, cfg)
+        if setup.kind == "on-demand":
+            driver = OnDemandVerifier(verifier, channel)
+            service.install()
+            request_rounds = spec.rounds if spec.mechanism == "smarm" else 1
+            sim.schedule_at(
+                spec.request_at, driver.request, device.name, request_rounds
+            )
+        else:  # self-measurement (ERASMUS)
+            collector = CollectorVerifier(verifier, channel)
+            service.start()
+            collector.collect_every(
+                device.name,
+                period=spec.t_c,
+                count=max(1, int(spec.horizon / spec.t_c)),
+            )
+
+    sim_time = sim.run(until=spec.horizon)
+
+    # -- fold the scenario into telemetry -------------------------------
+    if seed_service is not None:
+        reports = list(seed_service.reports_sent)
+        records = [rec for report in reports for rec in report.records]
+    elif collector is not None:
+        records = list(service.history)
+        reports = list(collector.collections)
+    else:
+        reports = list(service.reports_sent)
+        records = [rec for report in reports for rec in report.records]
+
+    compromised = [
+        r for r in verifier.results if r.verdict is Verdict.COMPROMISED
+    ]
+    first_detection = (
+        min(r.verified_at for r in compromised) if compromised else None
+    )
+    detection_latency = None
+    if first_detection is not None and spec.adversary != "none":
+        detection_latency = first_detection - _effective_infect_at(spec)
+
+    availability = None
+    if tasks:
+        availability = summarize_tasks(
+            device, tasks, elapsed=sim_time
+        ).to_dict()
+
+    return RunResult(
+        run_id=spec.run_id,
+        spec=spec.to_dict(),
+        verdict_counts=verdict_histogram(verifier.results),
+        detected=bool(compromised),
+        first_detection_at=first_detection,
+        detection_latency=detection_latency,
+        qoa=_qoa_stats(spec),
+        availability=availability,
+        measurements=len(records),
+        mp_duration=records[0].duration if records else 0.0,
+        mp_interruptions=max(
+            (rec.interruptions for rec in records), default=0
+        ),
+        reports=len(reports),
+        hash_ops=sum(rec.block_count for rec in records),
+        hash_bytes=sum(
+            rec.block_count * spec.sim_block_size for rec in records
+        ),
+        auth_ops=len(reports) + len(verifier.results),
+        lock_ops=device.mpu.lock_ops + device.mpu.unlock_ops,
+        trace_events=len(device.trace),
+        trace_dropped=device.trace.dropped,
+        sim_time=sim_time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Failure containment around the worker
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def _deadline(seconds: float) -> Iterator[None]:
+    """Raise :class:`FleetTimeout` if the block runs longer than
+    ``seconds`` of wall-clock time.  No-op when the budget is zero, on
+    platforms without ``SIGALRM``, or off the main thread."""
+    usable = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise FleetTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+Runner = Callable[[RunSpec], RunResult]
+
+
+def run_one(
+    spec: RunSpec, retries: int = 1, runner: Runner = execute_run
+) -> RunResult:
+    """Execute one spec with timeout enforcement and bounded retry.
+
+    Never raises: scenario exceptions become ``status="error"`` results
+    after ``retries`` extra attempts; blowing the wall-clock budget
+    becomes ``status="timeout"`` (not retried -- a deterministic run
+    that timed out once will time out again)."""
+    attempts = 0
+    while True:
+        attempts += 1
+        start = time.perf_counter()
+        try:
+            with _deadline(spec.timeout):
+                result = runner(spec)
+            result.attempts = attempts
+            result.wall_clock = time.perf_counter() - start
+            result.worker = f"pid-{os.getpid()}"
+            return result
+        except FleetTimeout:
+            return failure_result(
+                spec.run_id,
+                spec.to_dict(),
+                STATUS_TIMEOUT,
+                f"run exceeded wall-clock budget of {spec.timeout:g}s",
+                attempts=attempts,
+                wall_clock=time.perf_counter() - start,
+            )
+        except Exception as exc:
+            if attempts > retries:
+                detail = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                return failure_result(
+                    spec.run_id,
+                    spec.to_dict(),
+                    STATUS_ERROR,
+                    detail,
+                    attempts=attempts,
+                    wall_clock=time.perf_counter() - start,
+                )
+
+
+def _run_shard(
+    specs: Sequence[RunSpec], retries: int, runner: Runner
+) -> List[RunResult]:
+    """Worker entry point: execute a shard sequentially in-process."""
+    return [run_one(spec, retries=retries, runner=runner) for spec in specs]
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutorConfig:
+    """Knobs for one campaign execution."""
+
+    workers: int = 0  # 0/1 = serial
+    mode: str = "auto"  # "auto" | "serial" | "parallel"
+    shard_size: int = 8
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "serial", "parallel"):
+            raise ConfigurationError(f"unknown mode {self.mode!r}")
+        if self.shard_size <= 0:
+            raise ConfigurationError("shard_size must be positive")
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+
+
+@dataclass
+class ExecutionReport:
+    """Everything the executor did, results in plan order."""
+
+    results: List[RunResult]
+    mode: str
+    workers: int
+    shard_count: int
+    degraded_shards: int
+    wall_clock: float
+
+    @property
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return counts
+
+    @property
+    def by_id(self) -> Dict[str, RunResult]:
+        return {result.run_id: result for result in self.results}
+
+    def summary_line(self) -> str:
+        counts = self.status_counts
+        breakdown = " ".join(
+            f"{status}={count}" for status, count in sorted(counts.items())
+        )
+        return (
+            f"{len(self.results)} runs in {self.wall_clock:.2f}s "
+            f"({self.mode}, workers={self.workers}, "
+            f"shards={self.shard_count}, degraded={self.degraded_shards}): "
+            f"{breakdown or 'nothing to do'}"
+        )
+
+
+def make_shards(
+    specs: Sequence[RunSpec], shard_size: int
+) -> List[List[RunSpec]]:
+    """Partition ``specs`` into plan-order shards of ``shard_size``."""
+    return [
+        list(specs[index:index + shard_size])
+        for index in range(0, len(specs), shard_size)
+    ]
+
+
+def _default_pool_factory(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def execute_campaign(
+    specs: Sequence[RunSpec],
+    config: Optional[ExecutorConfig] = None,
+    runner: Runner = execute_run,
+    pool_factory: Callable[[int], ProcessPoolExecutor] = _default_pool_factory,
+    log: Optional[Callable[[str], None]] = None,
+) -> ExecutionReport:
+    """Execute every spec; never raises for per-run failures.
+
+    In parallel mode shards are submitted to a process pool; a shard
+    whose worker crashes (``BrokenProcessPool``) is re-executed
+    in-process, and if no pool can be created at all the whole campaign
+    gracefully degrades to serial mode.  ``runner`` must be a
+    module-level (picklable) callable for parallel execution.
+    """
+    config = config or ExecutorConfig()
+    emit = log or (lambda message: None)
+    start = time.perf_counter()
+    specs = list(specs)
+
+    want_parallel = config.mode == "parallel" or (
+        config.mode == "auto" and config.workers > 1
+    )
+    if not specs:
+        want_parallel = False
+
+    if not want_parallel:
+        results = _run_shard(specs, config.retries, runner)
+        return ExecutionReport(
+            results=results,
+            mode="serial",
+            workers=1,
+            shard_count=1 if specs else 0,
+            degraded_shards=0,
+            wall_clock=time.perf_counter() - start,
+        )
+
+    workers = max(2, config.workers)
+    shards = make_shards(specs, config.shard_size)
+    pool = None
+    try:
+        pool = pool_factory(workers)
+    except Exception as exc:  # no pool available: degrade to serial
+        emit(f"process pool unavailable ({exc!r}); running serially")
+        results = _run_shard(specs, config.retries, runner)
+        return ExecutionReport(
+            results=results,
+            mode="serial",
+            workers=1,
+            shard_count=len(shards),
+            degraded_shards=len(shards),
+            wall_clock=time.perf_counter() - start,
+        )
+
+    results = []
+    degraded = 0
+    pool_broken = False
+    try:
+        futures = [
+            pool.submit(_run_shard, shard, config.retries, runner)
+            for shard in shards
+        ]
+        for index, (shard, future) in enumerate(zip(shards, futures)):
+            try:
+                if pool_broken:
+                    raise BrokenProcessPool("pool already broken")
+                results.extend(future.result())
+            except (BrokenProcessPool, OSError) as exc:
+                pool_broken = True
+                degraded += 1
+                emit(
+                    f"shard {index} lost its worker ({exc!r}); "
+                    "re-running in-process"
+                )
+                results.extend(_run_shard(shard, config.retries, runner))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    return ExecutionReport(
+        results=results,
+        mode="parallel",
+        workers=workers,
+        shard_count=len(shards),
+        degraded_shards=degraded,
+        wall_clock=time.perf_counter() - start,
+    )

@@ -1,0 +1,345 @@
+"""Campaign artifacts and aggregation.
+
+One executed campaign lands on disk as::
+
+    <out>/<campaign-name>/
+        runs.jsonl      # one deterministic RunResult per line
+        manifest.json   # machine-readable campaign manifest
+        summary.json    # per-mechanism aggregate numbers
+        summary.txt     # the same table, human-readable
+
+``runs.jsonl`` holds only the deterministic projection of each result
+(no wall clocks, no worker ids), so serial and parallel executions of
+the same plan produce byte-identical files and artifacts diff cleanly
+across machines.  The manifest carries the volatile side: wall-clock,
+mode, worker count, status histogram.
+
+The aggregator folds results into per-``(mechanism, adversary)``
+summaries: detection rate and latency percentiles, deadline-miss
+rates, QoA detection probabilities, measurement durations.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fleet.campaign import CampaignSpec, RunSpec
+from repro.fleet.telemetry import RunResult
+
+MANIFEST_VERSION = 1
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]); no numpy."""
+    if not values:
+        raise ConfigurationError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip
+# ---------------------------------------------------------------------------
+
+
+def write_results_jsonl(path: Any, results: Iterable[RunResult]) -> int:
+    """Write deterministic JSONL; returns the number of lines."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(result.to_json_line())
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_results_jsonl(path: Any) -> List[RunResult]:
+    results = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                results.append(RunResult.from_json_line(line))
+    return results
+
+
+def pending_specs(
+    specs: Sequence[RunSpec], done: Iterable[RunResult]
+) -> List[RunSpec]:
+    """The subset of ``specs`` with no successful result yet -- the
+    resume set.  Failed/timed-out runs are retried on resume."""
+    finished = {result.run_id for result in done if result.ok}
+    return [spec for spec in specs if spec.run_id not in finished]
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GroupSummary:
+    """Aggregates over one (mechanism, adversary) cell."""
+
+    mechanism: str
+    adversary: str
+    runs: int = 0
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    detected: int = 0
+    detection_latencies: List[float] = field(default_factory=list)
+    miss_rates: List[float] = field(default_factory=list)
+    worst_response: float = 0.0
+    write_faults: int = 0
+    mp_durations: List[float] = field(default_factory=list)
+    detection_probabilities: List[float] = field(default_factory=list)
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.ok if self.ok else 0.0
+
+    @property
+    def mean_miss_rate(self) -> float:
+        if not self.miss_rates:
+            return 0.0
+        return sum(self.miss_rates) / len(self.miss_rates)
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        if not self.detection_latencies:
+            return {}
+        return {
+            f"p{q}": percentile(self.detection_latencies, q)
+            for q in (50, 90, 99)
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["detection_rate"] = self.detection_rate
+        data["mean_miss_rate"] = self.mean_miss_rate
+        data["latency_percentiles"] = self.latency_percentiles()
+        data["mean_mp_duration"] = (
+            sum(self.mp_durations) / len(self.mp_durations)
+            if self.mp_durations
+            else 0.0
+        )
+        # raw per-run lists are bulky; the summary keeps distributions
+        for bulky in ("detection_latencies", "mp_durations",
+                      "miss_rates", "detection_probabilities"):
+            data.pop(bulky, None)
+        return data
+
+
+@dataclass
+class CampaignSummary:
+    """All group summaries for one campaign's results."""
+
+    campaign: str
+    groups: Dict[Tuple[str, str], GroupSummary]
+    total_runs: int
+
+    def group(self, mechanism: str, adversary: str) -> GroupSummary:
+        return self.groups[(mechanism, adversary)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign,
+            "total_runs": self.total_runs,
+            "groups": [
+                self.groups[key].to_dict() for key in sorted(self.groups)
+            ],
+        }
+
+    def render(self) -> str:
+        header = (
+            f"{'mechanism':<10} {'adversary':<11} {'runs':>5} {'ok':>4} "
+            f"{'err':>4} {'t/o':>4} {'detect':>7} {'lat p50':>9} "
+            f"{'lat p90':>9} {'miss%':>7} {'mp[s]':>8}"
+        )
+        lines = [f"campaign {self.campaign}: {self.total_runs} runs",
+                 header, "-" * len(header)]
+        for key in sorted(self.groups):
+            g = self.groups[key]
+            pcts = g.latency_percentiles()
+            p50 = f"{pcts['p50']:9.3f}" if pcts else "        -"
+            p90 = f"{pcts['p90']:9.3f}" if pcts else "        -"
+            mp = (
+                f"{sum(g.mp_durations) / len(g.mp_durations):8.3f}"
+                if g.mp_durations
+                else "       -"
+            )
+            lines.append(
+                f"{g.mechanism:<10} {g.adversary:<11} {g.runs:>5} "
+                f"{g.ok:>4} {g.errors:>4} {g.timeouts:>4} "
+                f"{g.detection_rate:>6.0%} {p50} {p90} "
+                f"{g.mean_miss_rate:>6.1%} {mp}"
+            )
+        return "\n".join(lines)
+
+
+def summarize(
+    results: Iterable[RunResult], campaign: str = ""
+) -> CampaignSummary:
+    """Fold run results into per-(mechanism, adversary) summaries."""
+    groups: Dict[Tuple[str, str], GroupSummary] = {}
+    total = 0
+    for result in results:
+        total += 1
+        mechanism = str(result.spec.get("mechanism", "?"))
+        adversary = str(result.spec.get("adversary", "?"))
+        campaign = campaign or str(result.spec.get("campaign", ""))
+        key = (mechanism, adversary)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = GroupSummary(mechanism, adversary)
+        group.runs += 1
+        if result.status == "error":
+            group.errors += 1
+            continue
+        if result.status == "timeout":
+            group.timeouts += 1
+            continue
+        group.ok += 1
+        if result.detected:
+            group.detected += 1
+        if result.detection_latency is not None:
+            group.detection_latencies.append(result.detection_latency)
+        if result.availability is not None:
+            group.miss_rates.append(result.miss_rate)
+            group.worst_response = max(
+                group.worst_response,
+                result.availability.get("worst_response", 0.0),
+            )
+            group.write_faults += result.availability.get("write_faults", 0)
+        if result.measurements:
+            group.mp_durations.append(result.mp_duration)
+        probability = result.qoa.get("detection_probability")
+        if probability is not None:
+            group.detection_probabilities.append(probability)
+    return CampaignSummary(
+        campaign=campaign, groups=groups, total_runs=total
+    )
+
+
+# ---------------------------------------------------------------------------
+# Manifest + artifact layout
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignManifest:
+    """Machine-readable record of one campaign execution."""
+
+    version: int
+    campaign: str
+    spec_hash: str
+    run_count: int
+    status_counts: Dict[str, int]
+    mode: str
+    workers: int
+    shard_count: int
+    degraded_shards: int
+    wall_clock: float
+    created_at: float
+    artifacts: Dict[str, str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignManifest":
+        return cls(**data)
+
+
+@dataclass
+class ArtifactPaths:
+    root: Path
+    runs: Path
+    manifest: Path
+    summary_json: Path
+    summary_txt: Path
+
+
+def artifact_paths(out_dir: Any, campaign_name: str) -> ArtifactPaths:
+    root = Path(out_dir) / campaign_name
+    return ArtifactPaths(
+        root=root,
+        runs=root / "runs.jsonl",
+        manifest=root / "manifest.json",
+        summary_json=root / "summary.json",
+        summary_txt=root / "summary.txt",
+    )
+
+
+def write_artifacts(
+    out_dir: Any,
+    campaign_spec: CampaignSpec,
+    results: Sequence[RunResult],
+    execution: Optional[Any] = None,
+) -> ArtifactPaths:
+    """Write the full artifact set for one executed campaign.
+
+    ``execution`` is an :class:`~repro.fleet.executor.ExecutionReport`
+    (or None when summarizing pre-existing results); only the manifest
+    consumes it.
+    """
+    paths = artifact_paths(out_dir, campaign_spec.name)
+    paths.root.mkdir(parents=True, exist_ok=True)
+
+    ordered = sorted(results, key=lambda r: r.run_id)
+    write_results_jsonl(paths.runs, ordered)
+
+    summary = summarize(ordered, campaign=campaign_spec.name)
+    paths.summary_txt.write_text(summary.render() + "\n", encoding="utf-8")
+    paths.summary_json.write_text(
+        json.dumps(summary.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    status_counts: Dict[str, int] = {}
+    for result in ordered:
+        status_counts[result.status] = status_counts.get(result.status, 0) + 1
+    manifest = CampaignManifest(
+        version=MANIFEST_VERSION,
+        campaign=campaign_spec.name,
+        spec_hash=campaign_spec.spec_hash,
+        run_count=len(ordered),
+        status_counts=status_counts,
+        mode=getattr(execution, "mode", "external"),
+        workers=getattr(execution, "workers", 0),
+        shard_count=getattr(execution, "shard_count", 0),
+        degraded_shards=getattr(execution, "degraded_shards", 0),
+        wall_clock=getattr(execution, "wall_clock", 0.0),
+        created_at=time.time(),
+        artifacts={
+            "runs": paths.runs.name,
+            "summary_json": paths.summary_json.name,
+            "summary_txt": paths.summary_txt.name,
+        },
+    )
+    paths.manifest.write_text(
+        json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return paths
+
+
+def read_manifest(path: Any) -> CampaignManifest:
+    with open(path, "r", encoding="utf-8") as handle:
+        return CampaignManifest.from_dict(json.load(handle))

@@ -1,0 +1,157 @@
+"""Structured per-run telemetry.
+
+Every fleet run folds its whole simulation into one
+:class:`RunResult`: verdict histogram, detection latency, QoA
+parameters, the availability report from :mod:`repro.apps.metrics`,
+measurement and crypto-op counters, simulated and wall-clock time.
+
+Results are JSON-serializable so they cross process boundaries and
+land in JSONL artifacts.  The *deterministic* projection
+(:meth:`RunResult.to_json_line`) excludes volatile fields (wall clock,
+attempt count, worker host) so the same :class:`RunSpec` produces a
+byte-identical line whether it ran serially, in a pool, or on another
+machine -- which is what makes artifacts diffable and resumable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional
+
+from repro.apps.metrics import AvailabilityReport
+
+#: fields excluded from the deterministic projection
+VOLATILE_FIELDS = ("wall_clock", "attempts", "worker")
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one fleet run."""
+
+    run_id: str
+    spec: Dict[str, Any]
+    status: str = STATUS_OK
+    error: str = ""
+    # -- verdicts / detection ------------------------------------------
+    verdict_counts: Dict[str, int] = field(default_factory=dict)
+    detected: bool = False
+    first_detection_at: Optional[float] = None
+    detection_latency: Optional[float] = None
+    # -- QoA ------------------------------------------------------------
+    qoa: Dict[str, float] = field(default_factory=dict)
+    # -- availability ---------------------------------------------------
+    availability: Optional[Dict[str, Any]] = None
+    # -- measurement engine --------------------------------------------
+    measurements: int = 0
+    mp_duration: float = 0.0
+    mp_interruptions: int = 0
+    reports: int = 0
+    # -- crypto-op counters --------------------------------------------
+    hash_ops: int = 0
+    hash_bytes: int = 0
+    auth_ops: int = 0
+    lock_ops: int = 0
+    # -- trace ----------------------------------------------------------
+    trace_events: int = 0
+    trace_dropped: int = 0
+    # -- time ------------------------------------------------------------
+    sim_time: float = 0.0
+    wall_clock: float = 0.0  # volatile
+    attempts: int = 1  # volatile
+    worker: str = ""  # volatile
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self, deterministic: bool = False) -> Dict[str, Any]:
+        data = asdict(self)
+        data["spec"] = dict(sorted(self.spec.items()))
+        data["verdict_counts"] = dict(sorted(self.verdict_counts.items()))
+        data["qoa"] = dict(sorted(self.qoa.items()))
+        if deterministic:
+            for name in VOLATILE_FIELDS:
+                data.pop(name, None)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_json_line(self) -> str:
+        """The canonical, deterministic JSONL form of this result."""
+        return json.dumps(
+            self.to_dict(deterministic=True),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "RunResult":
+        return cls.from_dict(json.loads(line))
+
+    # -- convenience ----------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def availability_report(self) -> Optional[AvailabilityReport]:
+        if self.availability is None:
+            return None
+        return AvailabilityReport.from_dict(self.availability)
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.availability:
+            return 0.0
+        released = self.availability.get("jobs_released", 0)
+        if not released:
+            return 0.0
+        return self.availability.get("deadline_misses", 0) / released
+
+    def summary_line(self) -> str:
+        spec = self.spec
+        tail = (
+            f"detected={self.detected} mp={self.mp_duration:.3f}s "
+            f"measurements={self.measurements}"
+            if self.ok
+            else f"{self.status}: {self.error.splitlines()[-1] if self.error else '?'}"
+        )
+        return (
+            f"{self.run_id:<44} {spec.get('mechanism', '?'):<9} "
+            f"vs {spec.get('adversary', '?'):<10} {tail}"
+        )
+
+
+def failure_result(
+    run_id: str,
+    spec: Dict[str, Any],
+    status: str,
+    error: str,
+    attempts: int = 1,
+    wall_clock: float = 0.0,
+) -> RunResult:
+    """A :class:`RunResult` for a run that never produced telemetry."""
+    return RunResult(
+        run_id=run_id,
+        spec=spec,
+        status=status,
+        error=error,
+        attempts=attempts,
+        wall_clock=wall_clock,
+    )
+
+
+def verdict_histogram(results: List[Any]) -> Dict[str, int]:
+    """Count verifier verdicts by name."""
+    counts: Dict[str, int] = {}
+    for result in results:
+        key = result.verdict.value
+        counts[key] = counts.get(key, 0) + 1
+    return counts

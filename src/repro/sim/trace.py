@@ -4,12 +4,32 @@ Figures 1, 4 and 5 of the paper are *timelines*: requests, measurement
 start/end, lock release, infections, detections.  :class:`Trace`
 collects timestamped records from every component so the figure
 benchmarks can print the same timelines from simulation output.
+
+Long-running fleet campaigns (:mod:`repro.fleet`) keep thousands of
+simulations alive at once, so the trace also supports a bounded
+ring-buffer mode (``max_records``) and a JSONL export hook
+(:meth:`Trace.to_jsonl`) for shipping timelines into run artifacts.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a trace payload value into something JSON can hold."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)
 
 
 @dataclass(frozen=True)
@@ -26,14 +46,38 @@ class TraceRecord:
         text = f"[{self.time:12.6f}] {self.kind:<12} {self.source}"
         return f"{text} {extra}" if extra else text
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "source": self.source,
+            "data": {k: _jsonable(v) for k, v in sorted(self.data.items())},
+        }
+
 
 class Trace:
-    """An append-only list of :class:`TraceRecord` with query helpers."""
+    """Timestamped :class:`TraceRecord` storage with query helpers.
 
-    def __init__(self) -> None:
-        self.records: List[TraceRecord] = []
+    Unbounded (a plain append-only list) by default; pass
+    ``max_records`` to keep only the newest records in a ring buffer --
+    older records are silently discarded and counted in ``dropped``.
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive (or None)")
+        self.max_records = max_records
+        self.records: Any = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
+        self.dropped = 0
 
     def record(self, time: float, kind: str, source: str, **data: Any) -> None:
+        if (
+            self.max_records is not None
+            and len(self.records) == self.max_records
+        ):
+            self.dropped += 1
         self.records.append(TraceRecord(time, kind, source, data))
 
     def __len__(self) -> int:
@@ -80,7 +124,7 @@ class Trace:
             seen.setdefault(rec.kind, None)
         return list(seen)
 
-    # -- rendering --------------------------------------------------------
+    # -- rendering / export ---------------------------------------------
 
     def render(
         self, kinds: Optional[Iterable[str]] = None, limit: Optional[int] = None
@@ -95,3 +139,17 @@ class Trace:
         if limit is not None:
             lines = lines[:limit]
         return "\n".join(lines)
+
+    def to_jsonl(self, path: Any) -> int:
+        """Write every retained record to ``path`` as one JSON object
+        per line; returns the number of records written."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for rec in self.records:
+                handle.write(
+                    json.dumps(rec.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+                )
+                handle.write("\n")
+                count += 1
+        return count

@@ -1,0 +1,131 @@
+"""Campaign specs and the planner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    CANNED_CAMPAIGNS,
+    CampaignSpec,
+    RunSpec,
+    canned_campaign,
+    qoa_fleet_campaign,
+)
+
+
+def small_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="unit",
+        base={"block_count": 8, "horizon": 10.0},
+        axes={
+            "mechanism": ["smart", "erasmus"],
+            "adversary": ["none", "transient"],
+        },
+        seeds=range(3),
+    )
+
+
+class TestRunSpec:
+    def test_round_trip(self):
+        spec = RunSpec(mechanism="smarm", adversary="relocating", seed=42)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_run_id_is_content_derived(self):
+        a = RunSpec(mechanism="smart", seed=1)
+        b = RunSpec(mechanism="smart", seed=1)
+        assert a.run_id == b.run_id
+        assert a.run_id != RunSpec(mechanism="smart", seed=2).run_id
+        assert a.run_id != a.with_overrides(horizon=99.0).run_id
+
+    def test_run_id_readable_prefix(self):
+        spec = RunSpec(mechanism="erasmus", adversary="transient", seed=5)
+        assert spec.run_id.startswith("erasmus-transient-s0005-")
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(mechanism="quantum")
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(adversary="alien")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec.from_dict({"mechanism": "smart", "bogus": 1})
+
+
+class TestPlanner:
+    def test_expansion_count(self):
+        campaign = small_campaign()
+        specs = campaign.plan()
+        assert len(specs) == 2 * 2 * 3 == campaign.run_count
+
+    def test_plan_is_deterministic(self):
+        first = [spec.run_id for spec in small_campaign().plan()]
+        second = [spec.run_id for spec in small_campaign().plan()]
+        assert first == second
+
+    def test_run_ids_unique(self):
+        ids = [spec.run_id for spec in small_campaign().plan()]
+        assert len(set(ids)) == len(ids)
+
+    def test_base_fields_applied(self):
+        for spec in small_campaign().plan():
+            assert spec.block_count == 8
+            assert spec.horizon == 10.0
+            assert spec.campaign == "unit"
+
+    def test_axis_order_independent(self):
+        reordered = CampaignSpec(
+            name="unit",
+            base={"block_count": 8, "horizon": 10.0},
+            axes={
+                "adversary": ["none", "transient"],
+                "mechanism": ["smart", "erasmus"],
+            },
+            seeds=range(3),
+        )
+        assert [s.run_id for s in reordered.plan()] == [
+            s.run_id for s in small_campaign().plan()
+        ]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(name="bad", axes={"warp_factor": [9]})
+
+    def test_overlapping_base_and_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(
+                name="bad",
+                base={"mechanism": "smart"},
+                axes={"mechanism": ["smart"]},
+            )
+
+    def test_seed_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(name="bad", axes={"seed": [1, 2]})
+
+    def test_campaign_round_trip(self):
+        campaign = small_campaign()
+        clone = CampaignSpec.from_dict(campaign.to_dict())
+        assert clone.spec_hash == campaign.spec_hash
+        assert [s.run_id for s in clone.plan()] == [
+            s.run_id for s in campaign.plan()
+        ]
+
+
+class TestCannedCampaigns:
+    def test_qoa_is_fleet_scale(self):
+        assert qoa_fleet_campaign().run_count >= 50
+
+    def test_registry_names_resolve(self):
+        for name in CANNED_CAMPAIGNS:
+            campaign = canned_campaign(name)
+            assert campaign.run_count > 0
+            assert campaign.plan()
+
+    def test_seed_count_override(self):
+        assert canned_campaign("qoa", seed_count=2).run_count == 18
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            canned_campaign("nope")

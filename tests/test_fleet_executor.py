@@ -1,0 +1,237 @@
+"""Executor behaviour: serial, parallel, and every failure path."""
+
+import os
+import signal
+
+import pytest
+
+from repro.fleet import (
+    ExecutorConfig,
+    RunSpec,
+    execute_campaign,
+    execute_run,
+    make_shards,
+    run_one,
+)
+from repro.units import MiB
+
+#: captured at import so forked pool workers see a different pid
+_MAIN_PID = os.getpid()
+
+
+def fast_spec(**overrides) -> RunSpec:
+    fields = dict(
+        mechanism="smart",
+        adversary="none",
+        block_count=8,
+        sim_block_size=MiB,
+        horizon=10.0,
+    )
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+def parity_specs():
+    """A small mixed plan exercising every executor-relevant shape."""
+    specs = []
+    for mechanism, adversary in [
+        ("smart", "none"),
+        ("smart", "transient"),
+        ("erasmus", "transient"),
+        ("seed", "none"),
+        ("inc-lock", "none"),
+        ("no-lock", "transient"),
+    ]:
+        specs.append(
+            fast_spec(
+                mechanism=mechanism,
+                adversary=adversary,
+                dwell=4.0 if adversary == "transient" else 0.0,
+                horizon=20.0,
+            )
+        )
+    return specs
+
+
+def die_in_pool_worker(spec: RunSpec):
+    """Kills the hosting process -- but only inside a pool worker, so
+    the degraded in-process rerun (same runner) survives."""
+    if os.getpid() != _MAIN_PID:
+        os._exit(1)
+    return execute_run(spec)
+
+
+class TestSingleRun:
+    def test_healthy_run(self):
+        result = run_one(fast_spec())
+        assert result.ok
+        assert result.verdict_counts == {"healthy": 1}
+        assert result.measurements == 1
+        assert result.availability is not None
+        assert result.availability["jobs_released"] > 0
+        assert result.trace_events > 0
+        assert result.hash_ops == 8
+        assert result.hash_bytes == 8 * MiB
+        assert result.sim_time == pytest.approx(10.0)
+        assert result.wall_clock > 0
+
+    def test_transient_detection_with_latency(self):
+        result = run_one(
+            fast_spec(
+                mechanism="erasmus", adversary="transient",
+                dwell=6.0, horizon=24.0, t_m=2.0, t_c=8.0,
+            )
+        )
+        assert result.ok
+        assert result.detected
+        assert result.detection_latency > 0
+        assert result.qoa["detection_probability"] == 1.0
+
+    def test_workload_none_has_no_availability(self):
+        result = run_one(fast_spec(workload="none"))
+        assert result.ok
+        assert result.availability is None
+
+    def test_writer_workload_availability(self):
+        result = run_one(
+            fast_spec(
+                mechanism="all-lock", workload="writers",
+                block_count=16, writer_tasks=2,
+            )
+        )
+        assert result.ok
+        assert len(result.availability["per_task"]) == 2
+
+    def test_trace_ring_buffer_bounds_memory(self):
+        result = run_one(fast_spec(trace_limit=50, horizon=20.0))
+        assert result.ok
+        assert result.trace_events == 50
+        assert result.trace_dropped > 0
+
+
+class TestFailurePaths:
+    def test_worker_raising_becomes_error_result(self):
+        result = run_one(fast_spec(mechanism="crashtest"), retries=0)
+        assert result.status == "error"
+        assert "InjectedFailure" in result.error
+        assert result.attempts == 1
+
+    def test_retry_then_give_up(self):
+        result = run_one(fast_spec(mechanism="crashtest"), retries=2)
+        assert result.status == "error"
+        assert result.attempts == 3  # 1 try + 2 retries
+
+    def test_retry_then_success(self):
+        failures = {"left": 2}
+
+        def flaky(spec: RunSpec):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient worker failure")
+            return execute_run(spec)
+
+        result = run_one(fast_spec(), retries=2, runner=flaky)
+        assert result.ok
+        assert result.attempts == 3
+        assert result.verdict_counts == {"healthy": 1}
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+    )
+    def test_per_run_timeout(self):
+        result = run_one(
+            fast_spec(mechanism="sleeptest", horizon=30.0, timeout=0.2)
+        )
+        assert result.status == "timeout"
+        assert "0.2" in result.error
+        assert result.wall_clock < 5.0
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+    )
+    def test_timeout_not_retried(self):
+        result = run_one(
+            fast_spec(mechanism="sleeptest", horizon=30.0, timeout=0.2),
+            retries=3,
+        )
+        assert result.status == "timeout"
+        assert result.attempts == 1
+
+    def test_campaign_isolates_bad_runs(self):
+        specs = [
+            fast_spec(),
+            fast_spec(mechanism="crashtest"),
+            fast_spec(seed=8),
+        ]
+        report = execute_campaign(specs, ExecutorConfig(retries=0))
+        assert report.status_counts == {"ok": 2, "error": 1}
+        # plan order is preserved around the failure
+        assert [r.run_id for r in report.results] == [
+            s.run_id for s in specs
+        ]
+
+
+class TestSharding:
+    def test_make_shards_partitions_in_order(self):
+        specs = [fast_spec(seed=i) for i in range(7)]
+        shards = make_shards(specs, 3)
+        assert [len(s) for s in shards] == [3, 3, 1]
+        assert [s.run_id for shard in shards for s in shard] == [
+            s.run_id for s in specs
+        ]
+
+
+class TestParallel:
+    def test_serial_parallel_parity_byte_identical(self):
+        specs = parity_specs()
+        serial = execute_campaign(specs, ExecutorConfig(workers=0))
+        parallel = execute_campaign(
+            specs, ExecutorConfig(workers=2, shard_size=2)
+        )
+        assert serial.mode == "serial"
+        assert parallel.mode == "parallel"
+        assert [r.to_json_line() for r in serial.results] == [
+            r.to_json_line() for r in parallel.results
+        ]
+
+    def test_pool_unavailable_degrades_to_serial(self):
+        def no_pool(workers):
+            raise OSError("no processes for you")
+
+        specs = [fast_spec(seed=i) for i in range(3)]
+        report = execute_campaign(
+            specs,
+            ExecutorConfig(workers=4, shard_size=2),
+            pool_factory=no_pool,
+        )
+        assert report.mode == "serial"
+        assert report.degraded_shards == report.shard_count == 2
+        assert report.status_counts == {"ok": 3}
+
+    def test_worker_crash_degrades_shard_in_process(self):
+        specs = [fast_spec(seed=i) for i in range(4)]
+        report = execute_campaign(
+            specs,
+            ExecutorConfig(workers=2, shard_size=2),
+            runner=die_in_pool_worker,
+        )
+        assert report.mode == "parallel"
+        assert report.degraded_shards >= 1
+        assert report.status_counts == {"ok": 4}
+        assert [r.run_id for r in report.results] == [
+            s.run_id for s in specs
+        ]
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2,
+        reason="speedup needs >= 2 physical cores",
+    )
+    def test_parallel_speedup_on_multicore(self):
+        from repro.fleet import qoa_fleet_campaign
+
+        specs = qoa_fleet_campaign().plan()
+        serial = execute_campaign(specs, ExecutorConfig(workers=0))
+        parallel = execute_campaign(
+            specs, ExecutorConfig(workers=max(2, os.cpu_count() or 2))
+        )
+        assert serial.wall_clock / parallel.wall_clock > 1.5

@@ -1,0 +1,231 @@
+"""Telemetry serialization, aggregation and artifact round-trips."""
+
+import json
+
+import pytest
+
+from repro.apps.metrics import AvailabilityReport
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    CampaignSpec,
+    ExecutorConfig,
+    RunResult,
+    RunSpec,
+    execute_campaign,
+    failure_result,
+    pending_specs,
+    percentile,
+    read_manifest,
+    read_results_jsonl,
+    summarize,
+    write_artifacts,
+    write_results_jsonl,
+)
+from repro.sim.task import TaskStats
+from repro.units import MiB
+
+
+def make_result(**overrides) -> RunResult:
+    spec = RunSpec(
+        mechanism=overrides.pop("mechanism", "smart"),
+        adversary=overrides.pop("adversary", "none"),
+        seed=overrides.pop("seed", 0),
+    )
+    fields = dict(
+        run_id=spec.run_id,
+        spec=spec.to_dict(),
+        verdict_counts={"healthy": 1},
+        measurements=1,
+        mp_duration=0.5,
+        sim_time=10.0,
+    )
+    fields.update(overrides)
+    return RunResult(**fields)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 3, 2], 50) == 2
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([4.2], 90) == 4.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+
+class TestRunResultSerialization:
+    def test_volatile_fields_excluded_from_json_line(self):
+        a = make_result(wall_clock=1.23, attempts=2, worker="pid-1")
+        b = make_result(wall_clock=9.87, attempts=1, worker="pid-999")
+        assert a.to_json_line() == b.to_json_line()
+
+    def test_json_line_round_trip(self):
+        result = make_result(
+            detected=True,
+            detection_latency=3.5,
+            qoa={"t_m": 2.0, "detection_probability": 0.5},
+            availability={"jobs_released": 10, "deadline_misses": 1,
+                          "per_task": {}},
+        )
+        clone = RunResult.from_json_line(result.to_json_line())
+        assert clone.run_id == result.run_id
+        assert clone.detected is True
+        assert clone.detection_latency == 3.5
+        assert clone.miss_rate == pytest.approx(0.1)
+        # volatile fields come back at their defaults
+        assert clone.wall_clock == 0.0
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        results = [make_result(seed=i) for i in range(4)]
+        path = tmp_path / "runs.jsonl"
+        assert write_results_jsonl(path, results) == 4
+        loaded = read_results_jsonl(path)
+        assert [r.to_json_line() for r in loaded] == [
+            r.to_json_line() for r in results
+        ]
+
+
+class TestAvailabilityReportRoundTrip:
+    def test_round_trip_with_per_task(self):
+        report = AvailabilityReport(
+            elapsed=30.0,
+            jobs_released=100,
+            jobs_finished=98,
+            deadline_misses=4,
+            worst_response=0.25,
+            write_faults=7,
+            locked_block_seconds=1.5,
+            per_task={
+                "writer0": TaskStats(jobs_released=50, deadline_misses=4,
+                                     worst_response=0.25),
+                "writer1": TaskStats(jobs_released=50, jobs_finished=50),
+            },
+        )
+        clone = AvailabilityReport.from_dict(report.to_dict())
+        assert clone == report
+        assert clone.per_task["writer0"].deadline_misses == 4
+        assert clone.miss_rate == pytest.approx(0.04)
+
+    def test_survives_json(self):
+        report = AvailabilityReport(
+            elapsed=1.0, per_task={"t": TaskStats(jobs_released=3)}
+        )
+        clone = AvailabilityReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert clone == report
+
+    def test_real_run_round_trip(self):
+        spec = RunSpec(block_count=8, sim_block_size=MiB, horizon=8.0)
+        report = execute_campaign([spec], ExecutorConfig())
+        availability = report.results[0].availability_report
+        assert availability is not None
+        assert availability.jobs_released > 0
+        assert AvailabilityReport.from_dict(
+            availability.to_dict()
+        ) == availability
+
+
+class TestSummarize:
+    def test_groups_and_rates(self):
+        results = [
+            make_result(adversary="transient", seed=0, detected=True,
+                        detection_latency=2.0),
+            make_result(adversary="transient", seed=1, detected=True,
+                        detection_latency=4.0),
+            make_result(adversary="transient", seed=2, detected=False),
+            make_result(seed=3),
+        ]
+        summary = summarize(results)
+        cell = summary.group("smart", "transient")
+        assert cell.runs == 3
+        assert cell.detection_rate == pytest.approx(2 / 3)
+        assert cell.latency_percentiles()["p50"] == pytest.approx(3.0)
+        assert summary.group("smart", "none").detected == 0
+        assert summary.total_runs == 4
+
+    def test_failures_counted_not_aggregated(self):
+        spec = RunSpec(mechanism="crashtest")
+        results = [
+            make_result(seed=0),
+            failure_result(spec.run_id, spec.to_dict(), "error", "boom"),
+            failure_result(spec.run_id, spec.to_dict(), "timeout", "slow"),
+        ]
+        summary = summarize(results)
+        cell = summary.group("crashtest", "none")
+        assert cell.errors == 1 and cell.timeouts == 1 and cell.ok == 0
+        assert cell.detection_rate == 0.0
+
+    def test_render_mentions_every_mechanism(self):
+        results = [make_result(), make_result(mechanism="erasmus")]
+        text = summarize(results).render()
+        assert "smart" in text and "erasmus" in text
+
+
+class TestArtifacts:
+    def campaign(self):
+        return CampaignSpec(
+            name="artifact-test",
+            base={"block_count": 8, "horizon": 8.0},
+            axes={"mechanism": ["smart", "erasmus"]},
+            seeds=range(2),
+        )
+
+    def test_full_artifact_layout(self, tmp_path):
+        campaign = self.campaign()
+        execution = execute_campaign(campaign.plan(), ExecutorConfig())
+        paths = write_artifacts(
+            tmp_path, campaign, execution.results, execution
+        )
+        assert paths.runs.exists()
+        assert paths.summary_txt.exists()
+        assert json.loads(paths.summary_json.read_text())["total_runs"] == 4
+        manifest = read_manifest(paths.manifest)
+        assert manifest.campaign == "artifact-test"
+        assert manifest.spec_hash == campaign.spec_hash
+        assert manifest.run_count == 4
+        assert manifest.status_counts == {"ok": 4}
+        assert manifest.mode == "serial"
+
+    def test_runs_jsonl_sorted_and_reloadable(self, tmp_path):
+        campaign = self.campaign()
+        execution = execute_campaign(campaign.plan(), ExecutorConfig())
+        paths = write_artifacts(
+            tmp_path, campaign, execution.results, execution
+        )
+        loaded = read_results_jsonl(paths.runs)
+        assert [r.run_id for r in loaded] == sorted(
+            r.run_id for r in execution.results
+        )
+
+
+class TestResume:
+    def test_pending_excludes_only_successes(self):
+        specs = [RunSpec(seed=i) for i in range(3)]
+        done = [
+            make_result(seed=0),
+            failure_result(
+                specs[1].run_id, specs[1].to_dict(), "error", "boom"
+            ),
+        ]
+        pending = pending_specs(specs, done)
+        assert [s.seed for s in pending] == [1, 2]
+
+    def test_pending_empty_when_all_done(self):
+        specs = [RunSpec(seed=i) for i in range(2)]
+        done = [make_result(seed=0), make_result(seed=1)]
+        assert pending_specs(specs, done) == []

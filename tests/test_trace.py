@@ -60,3 +60,69 @@ class TestRendering:
 
     def test_render_all(self):
         assert len(populated().render().splitlines()) == 4
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        trace = Trace()
+        for index in range(1000):
+            trace.record(float(index), "tick", "src")
+        assert len(trace) == 1000
+        assert trace.dropped == 0
+
+    def test_bounded_keeps_newest(self):
+        trace = Trace(max_records=3)
+        for index in range(10):
+            trace.record(float(index), "tick", "src")
+        assert len(trace) == 3
+        assert trace.dropped == 7
+        assert [r.time for r in trace] == [7.0, 8.0, 9.0]
+
+    def test_bounded_queries_still_work(self):
+        trace = Trace(max_records=2)
+        trace.record(1.0, "a", "src")
+        trace.record(2.0, "b", "src")
+        trace.record(3.0, "a", "src")
+        assert trace.first("a").time == 3.0
+        assert trace.last("a").time == 3.0
+        assert trace.kinds() == ["b", "a"]
+        assert len(trace.between(0.0, 10.0)) == 2
+
+    def test_invalid_bound_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Trace(max_records=0)
+
+
+class TestJsonlExport:
+    def test_round_trips_through_json(self, tmp_path):
+        import json
+
+        trace = populated()
+        trace.record(5.0, "net.tx", "nic", payload=b"\x01\x02", size=2)
+        path = tmp_path / "trace.jsonl"
+        assert trace.to_jsonl(path) == 5
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        rows = [json.loads(line) for line in lines]
+        assert rows[0] == {
+            "time": 1.0, "kind": "mp.start", "source": "smart", "data": {},
+        }
+        assert rows[-1]["data"]["payload"] == "0102"  # bytes -> hex
+        assert rows[-1]["data"]["size"] == 2
+
+    def test_non_json_values_coerced(self, tmp_path):
+        import json
+
+        class Opaque:
+            def __str__(self):
+                return "<opaque>"
+
+        trace = Trace()
+        trace.record(1.0, "odd", "src", obj=Opaque(), tup=(1, b"\xFF"))
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        row = json.loads(path.read_text())
+        assert row["data"]["obj"] == "<opaque>"
+        assert row["data"]["tup"] == [1, "ff"]
