@@ -17,6 +17,10 @@ and the fleet campaign runner (docs/fleet.md)::
     repro fleet plan      # expand a campaign into its run list
     repro fleet run       # execute it (serial or process pool)
     repro fleet summarize # re-aggregate existing artifacts
+
+plus the in-tree static analyzer (docs/static_analysis.md)::
+
+    repro lint [paths]    # determinism & crypto-safety lint
 """
 
 from __future__ import annotations
@@ -121,6 +125,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     summ.add_argument("--campaign", default="qoa")
     summ.add_argument("--out", default="fleet-artifacts")
+
+    lint = sub.add_parser(
+        "lint", help="determinism & crypto-safety static analysis"
+    )
+    from repro.staticlint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     sub.add_parser("all", help="run every experiment")
     return parser
@@ -326,6 +337,11 @@ def _run_swatt(args: argparse.Namespace) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        # lint owns its exit code: 0 clean, 1 findings, 2 usage errors
+        from repro.staticlint.cli import run_lint
+
+        return run_lint(args)
     if args.command == "all":
         import repro.experiments as experiments
 

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ParameterError
-from repro.units import GiB, KiB, MiB
+from repro.units import GiB, KiB
 
 # Figure 2's algorithm sets.
 HASH_NAMES = ("sha256", "sha512", "blake2b", "blake2s")

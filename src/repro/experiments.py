@@ -22,7 +22,6 @@ FLEET     :func:`fleet_qoa` -- Figure 5's QoA sweep at fleet scale
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 

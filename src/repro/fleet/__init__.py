@@ -17,6 +17,7 @@ from repro.fleet.campaign import (
     matrix_fleet_campaign,
     qoa_fleet_campaign,
 )
+from repro.fleet.clock import ClockFn, perf_time, wall_time
 from repro.fleet.executor import (
     ExecutionReport,
     ExecutorConfig,
@@ -53,6 +54,7 @@ from repro.fleet.telemetry import (
 __all__ = [
     "CANNED_CAMPAIGNS",
     "ArtifactPaths",
+    "ClockFn",
     "CampaignManifest",
     "CampaignSpec",
     "CampaignSummary",
@@ -75,6 +77,7 @@ __all__ = [
     "make_shards",
     "matrix_fleet_campaign",
     "pending_specs",
+    "perf_time",
     "percentile",
     "qoa_fleet_campaign",
     "read_manifest",
@@ -82,6 +85,7 @@ __all__ = [
     "run_one",
     "summarize",
     "verdict_histogram",
+    "wall_time",
     "write_artifacts",
     "write_results_jsonl",
 ]

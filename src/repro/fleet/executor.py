@@ -42,6 +42,7 @@ from repro.core.tradeoff import ScenarioConfig, standard_mechanisms
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import ConfigurationError
 from repro.fleet.campaign import RunSpec
+from repro.fleet.clock import perf_time
 from repro.fleet.telemetry import (
     STATUS_ERROR,
     STATUS_TIMEOUT,
@@ -349,12 +350,12 @@ def run_one(
     attempts = 0
     while True:
         attempts += 1
-        start = time.perf_counter()
+        start = perf_time()
         try:
             with _deadline(spec.timeout):
                 result = runner(spec)
             result.attempts = attempts
-            result.wall_clock = time.perf_counter() - start
+            result.wall_clock = perf_time() - start
             result.worker = f"pid-{os.getpid()}"
             return result
         except FleetTimeout:
@@ -364,7 +365,7 @@ def run_one(
                 STATUS_TIMEOUT,
                 f"run exceeded wall-clock budget of {spec.timeout:g}s",
                 attempts=attempts,
-                wall_clock=time.perf_counter() - start,
+                wall_clock=perf_time() - start,
             )
         except Exception as exc:
             if attempts > retries:
@@ -377,7 +378,7 @@ def run_one(
                     STATUS_ERROR,
                     detail,
                     attempts=attempts,
-                    wall_clock=time.perf_counter() - start,
+                    wall_clock=perf_time() - start,
                 )
 
 
@@ -477,7 +478,7 @@ def execute_campaign(
     """
     config = config or ExecutorConfig()
     emit = log or (lambda message: None)
-    start = time.perf_counter()
+    start = perf_time()
     specs = list(specs)
 
     want_parallel = config.mode == "parallel" or (
@@ -494,7 +495,7 @@ def execute_campaign(
             workers=1,
             shard_count=1 if specs else 0,
             degraded_shards=0,
-            wall_clock=time.perf_counter() - start,
+            wall_clock=perf_time() - start,
         )
 
     workers = max(2, config.workers)
@@ -511,7 +512,7 @@ def execute_campaign(
             workers=1,
             shard_count=len(shards),
             degraded_shards=len(shards),
-            wall_clock=time.perf_counter() - start,
+            wall_clock=perf_time() - start,
         )
 
     results = []
@@ -544,5 +545,5 @@ def execute_campaign(
         workers=workers,
         shard_count=len(shards),
         degraded_shards=degraded,
-        wall_clock=time.perf_counter() - start,
+        wall_clock=perf_time() - start,
     )

@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import json
 import math
-import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.fleet.campaign import CampaignSpec, RunSpec
+from repro.fleet.clock import ClockFn, wall_time
 from repro.fleet.telemetry import RunResult
 
 MANIFEST_VERSION = 1
@@ -292,12 +292,15 @@ def write_artifacts(
     campaign_spec: CampaignSpec,
     results: Sequence[RunResult],
     execution: Optional[Any] = None,
+    clock: Optional[ClockFn] = None,
 ) -> ArtifactPaths:
     """Write the full artifact set for one executed campaign.
 
     ``execution`` is an :class:`~repro.fleet.executor.ExecutionReport`
     (or None when summarizing pre-existing results); only the manifest
-    consumes it.
+    consumes it.  ``clock`` overrides the telemetry wall clock that
+    stamps the manifest's ``created_at`` (tests inject a fixed one;
+    the stamp is volatile and never part of canonical artifacts).
     """
     paths = artifact_paths(out_dir, campaign_spec.name)
     paths.root.mkdir(parents=True, exist_ok=True)
@@ -326,7 +329,7 @@ def write_artifacts(
         shard_count=getattr(execution, "shard_count", 0),
         degraded_shards=getattr(execution, "degraded_shards", 0),
         wall_clock=getattr(execution, "wall_clock", 0.0),
-        created_at=time.time(),
+        created_at=(clock or wall_time)(),
         artifacts={
             "runs": paths.runs.name,
             "summary_json": paths.summary_json.name,

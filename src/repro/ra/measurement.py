@@ -243,7 +243,11 @@ class MeasurementProcess:
         t_release: Optional[float] = None
         if self.policy.holds_after_end:
             t_release = t_end + config.release_delay
-            sim.schedule(config.release_delay, self._do_release)
+            # The extended policies *deliberately* keep the lock past
+            # the atomic section: t_r release is part of the mechanism
+            # (All-Lock-Ext / Inc-Lock-Ext), not an interleaving bug,
+            # and the timer only fires after Atomic(False) below.
+            sim.schedule(config.release_delay, self._do_release)  # repro: allow[ra-atomic-gap]
 
         if config.atomic:
             yield Atomic(False)

@@ -24,8 +24,10 @@ from typing import List, Optional, Tuple
 
 from repro.crypto.hmac import constant_time_equal, hmac_digest
 from repro.errors import VerificationError
-from repro.sim.memory import FINGERPRINT_LEN as AUDIT_HASH_LEN
-from repro.sim.memory import content_fingerprint as audit_hash
+# Re-exported: measurement.py and downstream tooling import the audit
+# hash helpers from the report layer, not from sim.memory directly.
+from repro.sim.memory import FINGERPRINT_LEN as AUDIT_HASH_LEN  # noqa: F401
+from repro.sim.memory import content_fingerprint as audit_hash  # noqa: F401
 
 
 @dataclass(frozen=True)

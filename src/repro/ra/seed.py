@@ -36,7 +36,6 @@ from repro.ra.service import listen
 from repro.ra.verifier import Verifier
 from repro.sim.device import Device
 from repro.sim.network import Channel, Message
-from repro.sim.process import Process
 
 
 def trigger_schedule(shared_seed: bytes, min_gap: float, max_gap: float,

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hmac import constant_time_equal
 from repro.errors import ConfigurationError
 from repro.ra.service import listen
 from repro.sim.device import Device
@@ -231,7 +232,10 @@ class SoftwareVerifier:
         expected = software_checksum(
             self.reference, response.challenge, self.iterations
         )
-        correct = response.checksum == expected
+        correct = constant_time_equal(
+            response.checksum.to_bytes(8, "big"),
+            expected.to_bytes(8, "big"),
+        )
         timely = elapsed <= self.threshold
         detail = []
         if not correct:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hmac import constant_time_equal
 from repro.errors import ConfigurationError
 from repro.ra.measurement import expected_digest
 from repro.ra.report import (
@@ -183,7 +184,7 @@ class Verifier:
             for block_index, _content in record.data_copy:
                 if block_index not in profile.mutable_blocks:
                     return Verdict.COMPROMISED
-        if self.expected_for(record) == record.digest:
+        if constant_time_equal(self.expected_for(record), record.digest):
             return Verdict.HEALTHY
         return Verdict.COMPROMISED
 

@@ -1,0 +1,75 @@
+"""`repro lint`: determinism & crypto-safety static analysis.
+
+The reproduction rests on contracts nothing else enforces: the DES
+engine promises identical traces for identical inputs, the fleet layer
+promises canonical JSONL free of volatile fields, the verifiers
+promise constant-time tag comparison, and the atomic measurement modes
+promise no interleaving between MPU lock and unlock.  This package is
+the AST-based analyzer that machine-checks those conventions, in the
+spirit of statically-verified RA designs (VRASED, OAT): the security
+argument is only as good as the properties the measurement code
+provably has.
+
+Rule families (see :mod:`repro.staticlint.determinism`,
+:mod:`repro.staticlint.crypto_rules`,
+:mod:`repro.staticlint.atomicity`)::
+
+    determinism  det-wall-clock, det-module-random,
+                 det-unseeded-random, det-set-iteration,
+                 det-mutable-default
+    crypto       crypto-digest-eq, crypto-random-module
+    atomicity    ra-atomic-gap
+
+Usage::
+
+    repro lint src/                 # self-scan, exit 0 when clean
+    repro lint --list-rules         # the catalogue
+    repro lint --format json src/   # machine-readable findings
+
+Inline suppression: ``# repro: allow[rule-id]  -- justification``.
+Accepted legacy findings live in ``lint-baseline.json``.
+"""
+
+from repro.staticlint.baseline import (
+    Baseline,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.staticlint.cli import build_report, main, run_lint
+from repro.staticlint.engine import (
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.registry import (
+    LintConfig,
+    Rule,
+    all_rules,
+    get_rule,
+)
+from repro.staticlint.reporters import LintReport, rule_catalogue
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "build_report",
+    "get_rule",
+    "iter_python_files",
+    "load_baseline",
+    "main",
+    "rule_catalogue",
+    "run_lint",
+    "write_baseline",
+    "Severity",
+]

@@ -1,0 +1,129 @@
+"""Attestation-atomicity rules.
+
+Section 2 of the paper is about exactly one hazard: a measurement that
+claims atomicity (SMART's "disable interrupts first") while the code
+between taking and releasing the memory locks can still cede the CPU
+or enqueue interleaved work.  In the simulation, a measurement body
+declares atomicity by yielding ``Atomic(True)`` and ends the section
+with ``Atomic(False)``; inside that window the only legitimate yields
+are ``Compute(...)`` (simulated instruction time, uninterruptible
+while atomic) and the closing ``Atomic(False)`` itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.staticlint.engine import ModuleContext, walk_scope
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.registry import get_rule, rule
+
+#: yield payloads that keep the atomic claim honest
+_ALLOWED_YIELD_CALLS = ("Atomic", "Compute")
+#: scheduler entry points that enqueue interleaved events
+_SCHEDULER_CALLS = ("schedule", "schedule_at")
+
+
+def _atomic_marker(node: ast.AST) -> Optional[bool]:
+    """True/False for a ``yield Atomic(True/False)``, else None."""
+    if not isinstance(node, (ast.Expr, ast.Yield)):
+        return None
+    value = node.value if isinstance(node, ast.Expr) else node
+    if not isinstance(value, ast.Yield):
+        return None
+    call = value.value
+    if (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id == "Atomic"
+        and len(call.args) == 1
+        and isinstance(call.args[0], ast.Constant)
+        and isinstance(call.args[0].value, bool)
+    ):
+        return call.args[0].value
+    return None
+
+
+def _atomic_window(
+    func: ast.AST,
+) -> Optional[Tuple[int, int]]:
+    """(first Atomic(True) line, last Atomic(False) line or body end)."""
+    opens: List[int] = []
+    closes: List[int] = []
+    for node in walk_scope(func):
+        marker = _atomic_marker(node)
+        if marker is True:
+            opens.append(node.lineno)
+        elif marker is False:
+            closes.append(node.lineno)
+    if not opens:
+        return None
+    end = max(closes) if closes else getattr(
+        func, "end_lineno", opens[0]
+    )
+    return min(opens), end
+
+
+@rule(
+    id="ra-atomic-gap",
+    family="atomicity",
+    severity=Severity.ERROR,
+    summary="scheduler call or preemptible yield inside a declared-"
+            "atomic measurement section",
+    rationale=(
+        "A measurement that yields Atomic(True) is claiming SMART-style "
+        "uninterruptibility between locking and unlocking the attested "
+        "region.  Calling sim.schedule()/schedule_at() or yielding "
+        "anything but Compute()/Atomic() inside that window reintroduces "
+        "the interleaving the claim rules out -- the verifier would "
+        "accept a digest whose consistency guarantee silently no longer "
+        "holds (the Section 2 hazard)."
+    ),
+    hint=(
+        "move the schedule()/yield outside the Atomic(True)..."
+        "Atomic(False) window, or drop the atomic declaration and use a "
+        "locking policy that tolerates interruption"
+    ),
+)
+def check_atomic_gap(ctx: ModuleContext) -> Iterable[Finding]:
+    this = get_rule("ra-atomic-gap")
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        window = _atomic_window(func)
+        if window is None:
+            continue
+        start, end = window
+        for node in walk_scope(func):
+            line = getattr(node, "lineno", None)
+            if line is None or not (start < line <= end):
+                continue
+            if isinstance(node, ast.Call):
+                func_name = node.func
+                attr = (
+                    func_name.attr
+                    if isinstance(func_name, ast.Attribute)
+                    else getattr(func_name, "id", "")
+                )
+                if attr in _SCHEDULER_CALLS:
+                    yield this.finding(
+                        ctx, node,
+                        f"{attr}() enqueues interleaved work inside "
+                        f"the atomic section of {func.name}()",
+                    )
+            elif isinstance(node, ast.Yield):
+                if _atomic_marker(node) is not None:
+                    continue
+                value = node.value
+                allowed = (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in _ALLOWED_YIELD_CALLS
+                )
+                if not allowed:
+                    yield this.finding(
+                        ctx, node,
+                        f"yield inside the atomic section of "
+                        f"{func.name}() cedes the CPU",
+                    )

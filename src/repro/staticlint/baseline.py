@@ -1,0 +1,126 @@
+"""Baseline file: accepted pre-existing findings.
+
+The committed baseline (``lint-baseline.json`` at the repo root) lists
+fingerprints of findings that predate the linter and are accepted with
+a justification.  A finding whose fingerprint appears in the baseline
+is reported as *baselined* and does not fail the run; a baselined
+entry whose finding no longer occurs is reported as stale so the
+baseline only ever shrinks.
+
+Fingerprints hash (rule id, path, offending line text, occurrence
+index) -- see :meth:`repro.staticlint.findings.Finding.fingerprint` --
+so entries survive edits that merely move code around.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.staticlint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule: str
+    path: str
+    fingerprint: str
+    justification: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: List[BaselineEntry] = dataclasses.field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> frozenset:
+        return frozenset(entry.fingerprint for entry in self.entries)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Baseline":
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"unsupported baseline version {version!r}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=e["rule"],
+                path=e["path"],
+                fingerprint=e["fingerprint"],
+                justification=e.get("justification", ""),
+            )
+            for e in data.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule,
+                                                 e.fingerprint)
+                )
+            ],
+        }
+
+
+def load_baseline(path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return Baseline()
+    with open(file_path, "r", encoding="utf-8") as handle:
+        return Baseline.from_dict(json.load(handle))
+
+
+def write_baseline(path, findings: Sequence[Finding]) -> Baseline:
+    """Accept every current unsuppressed finding into ``path``."""
+    baseline = Baseline(
+        entries=[
+            BaselineEntry(
+                rule=finding.rule_id,
+                path=finding.path,
+                fingerprint=finding.fingerprint(),
+                justification="TODO: justify or fix",
+            )
+            for finding in findings
+            if not finding.suppressed
+        ]
+    )
+    Path(path).write_text(
+        json.dumps(baseline.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return baseline
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """Mark baselined findings; return (findings, stale entries)."""
+    accepted = baseline.fingerprints
+    marked = [
+        dataclasses.replace(finding, baselined=True)
+        if finding.fingerprint() in accepted and not finding.suppressed
+        else finding
+        for finding in findings
+    ]
+    live = {f.fingerprint() for f in findings}
+    stale = [e for e in baseline.entries if e.fingerprint not in live]
+    return marked, stale

@@ -1,0 +1,169 @@
+"""The ``repro lint`` entry point.
+
+Kept separate from :mod:`repro.cli` so the analyzer is importable and
+scriptable (``run_lint`` is what the tests and CI drive) while the
+top-level CLI stays a thin argument shim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.staticlint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.staticlint.engine import analyze_source, iter_python_files
+from repro.staticlint.registry import LintConfig, all_rules, selected_rules
+from repro.staticlint.reporters import LintReport, rule_catalogue
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=(
+            "baseline file of accepted findings "
+            f"(default: ./{DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings and stale baseline entries also fail the run",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def build_report(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    baseline_path: Optional[str] = None,
+    strict: bool = False,
+) -> LintReport:
+    """Analyze ``paths`` and fold in the baseline -- the API the
+    self-scan test uses directly."""
+    config = config or LintConfig()
+    selected_rules(config)  # fail fast on unknown --select ids
+    files = iter_python_files(paths)
+    findings = []
+    for path in files:
+        findings.extend(
+            analyze_source(
+                path.read_text(encoding="utf-8"),
+                path=str(path),
+                config=config,
+            )
+        )
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    if baseline is not None:
+        findings, stale = apply_baseline(findings, baseline)
+    else:
+        stale = []
+    return LintReport(
+        findings=findings,
+        stale_baseline=stale,
+        files_checked=len(files),
+        strict=strict,
+    )
+
+
+def _default_baseline(args: argparse.Namespace) -> Optional[str]:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return args.baseline
+    default = Path(DEFAULT_BASELINE_NAME)
+    return str(default) if default.exists() else None
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint``; returns the process exit code.
+
+    Usage errors (unknown rule id, missing path) exit 2 with a
+    message on stderr; findings exit 1; a clean run exits 0.
+    """
+    try:
+        return _run_lint(args)
+    except ConfigurationError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(rule_catalogue(all_rules()))
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        raise ConfigurationError(
+            "no such path(s): " + ", ".join(missing)
+        )
+
+    select = None
+    if args.select:
+        select = tuple(
+            token.strip() for token in args.select.split(",")
+            if token.strip()
+        )
+    config = LintConfig(select=select)
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE_NAME
+        report = build_report(args.paths, config=config)
+        accepted = write_baseline(
+            target,
+            [f for f in report.findings if not f.suppressed],
+        )
+        print(
+            f"baselined {len(accepted.entries)} finding(s) into {target}"
+        )
+        return 0
+
+    report = build_report(
+        args.paths,
+        config=config,
+        baseline_path=_default_baseline(args),
+        strict=args.strict,
+    )
+    print(report.render(args.format))
+    return report.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism & crypto-safety analyzer for the "
+                    "simulation stack",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

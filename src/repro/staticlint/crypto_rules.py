@@ -1,0 +1,143 @@
+"""Crypto-safety rules.
+
+The verifier compares MACs with ``constant_time_equal`` (RFC 2104
+practice: an early-exit ``==`` leaks the first differing byte's
+position through timing, letting a network adversary forge tags byte
+by byte).  Key and nonce material must come from the HMAC-DRBG, both
+for reproducibility and because SMARM/SeED *derive* their secrets from
+keyed PRFs.  These rules keep both conventions from regressing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.staticlint.engine import ModuleContext
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.registry import get_rule, rule
+
+#: identifier tokens that mark a value as secret-derived material
+SENSITIVE_TOKENS = frozenset(
+    ("digest", "tag", "mac", "hmac", "sig", "signature", "checksum")
+)
+#: tokens that mark a name as metadata *about* such material, not the
+#: material itself (digest_size, tag_input, mac_time, ...)
+METADATA_TOKENS = frozenset(
+    ("size", "len", "length", "count", "name", "names", "time", "times",
+     "ops", "input", "scheme", "algorithm", "algo", "type", "kind",
+     "cost", "costs")
+)
+
+
+def _name_tokens(name: str) -> frozenset:
+    return frozenset(part for part in name.lower().split("_") if part)
+
+
+def _sensitive_name(name: str) -> bool:
+    tokens = _name_tokens(name)
+    return bool(tokens & SENSITIVE_TOKENS) and not (
+        tokens & METADATA_TOKENS
+    )
+
+
+def _sensitive_expr(node: ast.expr) -> str:
+    """Why an expression looks like digest material ('' = it doesn't)."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "digest", "hexdigest"
+        ):
+            return f"{func.attr}() result"
+        if isinstance(func, ast.Name) and _sensitive_name(func.id):
+            return f"{func.id}() result"
+        if isinstance(func, ast.Attribute) and _sensitive_name(func.attr):
+            return f"{func.attr}() result"
+        return ""
+    if isinstance(node, ast.Attribute) and _sensitive_name(node.attr):
+        return node.attr
+    if isinstance(node, ast.Name) and _sensitive_name(node.id):
+        return node.id
+    return ""
+
+
+def _benign_operand(node: ast.expr) -> bool:
+    """Comparisons against these never need constant time."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return True
+        if isinstance(value, bytes) and value == b"":
+            return True  # emptiness test, not a tag check
+    return False
+
+
+@rule(
+    id="crypto-digest-eq",
+    family="crypto",
+    severity=Severity.ERROR,
+    summary="non-constant-time digest/tag/MAC comparison",
+    rationale=(
+        "Python's == on bytes exits at the first mismatch; comparing a "
+        "received tag that way leaks the match-prefix length through "
+        "response timing, the classic remote MAC-forgery oracle.  The "
+        "reproduction's verifiers model real verifier code, so they "
+        "follow real-verifier rules."
+    ),
+    hint=(
+        "compare with repro.crypto.hmac.constant_time_equal(a, b) "
+        "(ints: encode both sides with .to_bytes() first)"
+    ),
+)
+def check_digest_eq(ctx: ModuleContext) -> Iterable[Finding]:
+    this = get_rule("crypto-digest-eq")
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left] + list(node.comparators)
+        if any(_benign_operand(op) for op in operands):
+            continue
+        for operand in operands:
+            why = _sensitive_expr(operand)
+            if why:
+                yield this.finding(
+                    ctx, node,
+                    f"==/!= comparison involving {why} is not "
+                    "constant-time",
+                )
+                break
+
+
+@rule(
+    id="crypto-random-module",
+    family="crypto",
+    severity=Severity.ERROR,
+    summary="random module used inside crypto/",
+    rationale=(
+        "The crypto package's randomness contract is the HMAC-DRBG "
+        "(SP 800-90A): a Mersenne-Twister stream is predictable from "
+        "624 outputs and is not acceptable even in simulation code "
+        "that generates keys, nonces or prime witnesses."
+    ),
+    hint="draw bytes/ints from repro.crypto.drbg.HmacDrbg instead",
+)
+def check_crypto_random(ctx: ModuleContext) -> Iterable[Finding]:
+    if not ctx.in_scope(ctx.config.crypto_scope):
+        return
+    this = get_rule("crypto-random-module")
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    yield this.finding(
+                        ctx, node,
+                        "crypto/ must not import the random module",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "random":
+                yield this.finding(
+                    ctx, node,
+                    "crypto/ must not import from the random module",
+                )

@@ -1,0 +1,249 @@
+"""The analysis driver: parse, run rules, apply suppressions.
+
+One :class:`ModuleContext` per analyzed file carries the parsed tree,
+the raw lines, an import-alias table (so ``from time import
+perf_counter as pc`` is still seen as ``time.perf_counter``), and the
+scoping helpers rules use.  :func:`analyze_source` runs the selected
+rules over one module; :func:`analyze_paths` walks files and
+directories.
+
+Suppressions
+------------
+A ``# repro: allow[rule-id]`` comment suppresses matching findings on
+its own line; a standalone allow-comment line suppresses the next code
+line.  ``allow[rule-a,rule-b]`` lists several rules, ``allow[*]``
+suppresses everything on the line.  Suppressed findings are still
+reported (marked) but never fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.registry import LintConfig, selected_rules
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+#: pseudo-rule reported for files the parser rejects
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass
+class ModuleContext:
+    """Everything the rules need to know about one module."""
+
+    path: str  # display path (as passed / found on disk)
+    norm: str  # normalized posix path, used for scope matching
+    source: str
+    lines: List[str]
+    tree: ast.AST
+    config: LintConfig
+    import_map: Dict[str, str] = field(default_factory=dict)
+
+    # -- scoping -------------------------------------------------------
+
+    def in_scope(self, patterns: Sequence[str]) -> bool:
+        """True when this module lives under any of ``patterns``."""
+        return any(pattern in self.norm for pattern in patterns)
+
+    def is_telemetry_module(self) -> bool:
+        return self.in_scope(self.config.telemetry_allowlist)
+
+    # -- name resolution -----------------------------------------------
+
+    def resolve(self, node: ast.AST) -> str:
+        """Dotted name of an expression, de-aliased through imports.
+
+        ``pc()`` after ``from time import perf_counter as pc`` resolves
+        to ``"time.perf_counter"``; unresolvable expressions (calls on
+        call results, subscripts, ...) resolve to ``""``.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return ""
+        root = self.import_map.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def build_import_map(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted names they import."""
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else local
+                mapping[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:  # relative imports never alias stdlib modules
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def walk_scope(root: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``root`` without descending into nested function bodies.
+
+    Used by rules that reason about one function's control flow (the
+    atomicity family): code inside a nested ``def``/``lambda`` runs at
+    some other time and must not be attributed to the outer window.
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def suppressed_lines(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids allowed on them."""
+    allowed: Dict[int, Set[str]] = {}
+    pending: Set[str] = set()
+    for number, line in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(line)
+        rules_here: Set[str] = set()
+        if match:
+            rules_here = {
+                token.strip()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+        before_comment = line.split("#", 1)[0]
+        is_code = bool(before_comment.strip())
+        if is_code:
+            combined = rules_here | pending
+            if combined:
+                allowed[number] = allowed.get(number, set()) | combined
+            pending = set()
+        elif rules_here:
+            # standalone allow-comment: applies to the next code line
+            pending |= rules_here
+    return allowed
+
+
+def _apply_suppressions(
+    findings: List[Finding], allowed: Dict[int, Set[str]]
+) -> List[Finding]:
+    out = []
+    for finding in findings:
+        rules = allowed.get(finding.line, ())
+        if finding.rule_id in rules or "*" in rules:
+            finding = _replace(finding, suppressed=True)
+        out.append(finding)
+    return out
+
+
+def _replace(finding: Finding, **changes) -> Finding:
+    import dataclasses
+
+    return dataclasses.replace(finding, **changes)
+
+
+def _number_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Disambiguate findings sharing (rule, path, line text)."""
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out = []
+    for finding in sorted(findings, key=lambda f: (f.line, f.col, f.rule_id)):
+        key = (finding.rule_id, finding.path, finding.line_text)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        out.append(
+            _replace(finding, occurrence=index) if index else finding
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Analysis entry points
+# ---------------------------------------------------------------------------
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Run the selected rules over one module's source text."""
+    config = config or LintConfig()
+    norm = Path(path).as_posix()
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=PARSE_ERROR_RULE,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"could not parse module: {exc.msg}",
+                hint="fix the syntax error; unparseable code is unchecked",
+                severity=Severity.ERROR,
+                line_text=(exc.text or "").strip(),
+            )
+        ]
+    ctx = ModuleContext(
+        path=path,
+        norm=norm,
+        source=source,
+        lines=lines,
+        tree=tree,
+        config=config,
+        import_map=build_import_map(tree),
+    )
+    findings: List[Finding] = []
+    for rule in selected_rules(config):
+        findings.extend(rule.check(ctx))
+    findings = _number_occurrences(findings)
+    return _apply_suppressions(findings, suppressed_lines(lines))
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            found.extend(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py" and path.exists():
+            found.append(path)
+    return sorted(set(found))
+
+
+def analyze_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Analyze every ``.py`` file under ``paths``."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            analyze_source(
+                path.read_text(encoding="utf-8"),
+                path=str(path),
+                config=config,
+            )
+        )
+    return findings

@@ -1,0 +1,80 @@
+"""Finding and severity types shared by every lint rule.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`~Finding.fingerprint` is the identity used by the baseline file:
+it hashes the rule id, the file path, and the *text* of the offending
+line (plus an occurrence index for duplicates on identical lines), so
+baselined findings survive unrelated edits that only shift line
+numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """Per-rule severity: errors fail the build, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    severity: Severity = Severity.ERROR
+    #: stripped text of the offending source line (baseline identity)
+    line_text: str = ""
+    #: occurrence index among findings of the same (rule, path, text)
+    occurrence: int = 0
+    #: True when an inline ``# repro: allow[...]`` covers this finding
+    suppressed: bool = field(default=False, compare=False)
+    #: True when the committed baseline covers this finding
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> str:
+        material = "\x1f".join(
+            (self.rule_id, self.path, self.line_text, str(self.occurrence))
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint(),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        text = (
+            f"{self.location}: [{self.rule_id}] "
+            f"{self.severity}: {self.message}"
+        )
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

@@ -1,0 +1,148 @@
+"""Rule registry: declarative metadata plus an AST check function.
+
+Rules self-register at import time via :func:`rule`; the engine runs
+every registered (and selected) rule over each parsed module.  Each
+rule carries the severity, a one-line summary, the paper-derived
+rationale (surfaced by ``repro lint --list-rules`` and the docs), and
+the fix hint shown next to every finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.staticlint.findings import Finding, Severity
+
+#: a check takes the module context and yields findings
+CheckFn = Callable[["ModuleContext"], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scoping knobs for the rule set.
+
+    Paths are matched as substrings of the module's normalized posix
+    path, so defaults like ``repro/sim/`` work from any checkout root.
+    """
+
+    #: the only modules allowed to read wall clocks (telemetry sources)
+    telemetry_allowlist: Tuple[str, ...] = ("repro/fleet/clock.py",)
+    #: packages whose components must take an explicit seeded RNG
+    seeded_random_scope: Tuple[str, ...] = (
+        "repro/sim/",
+        "repro/ra/",
+        "repro/malware/",
+        "repro/apps/",
+        "repro/swarm/",
+    )
+    #: event-scheduling paths where set iteration breaks trace parity
+    scheduling_scope: Tuple[str, ...] = ("repro/sim/", "repro/ra/")
+    #: the crypto package: DRBG only, never the random module
+    crypto_scope: Tuple[str, ...] = ("repro/crypto/",)
+    #: subset of rule ids to run (None = all registered rules)
+    select: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    id: str
+    family: str  # "determinism" | "crypto" | "atomicity"
+    severity: Severity
+    summary: str
+    rationale: str
+    hint: str
+    check: CheckFn = field(compare=False)
+
+    def finding(
+        self,
+        ctx: "ModuleContext",
+        node,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding for an AST node with this rule's metadata."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        text = ""
+        if 1 <= line <= len(ctx.lines):
+            text = ctx.lines[line - 1].strip()
+        return Finding(
+            rule_id=self.id,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            severity=self.severity,
+            line_text=text,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(
+    id: str,
+    family: str,
+    severity: Severity,
+    summary: str,
+    rationale: str,
+    hint: str,
+) -> Callable[[CheckFn], CheckFn]:
+    """Decorator registering ``check`` under the given metadata."""
+
+    def decorate(check: CheckFn) -> CheckFn:
+        if id in _REGISTRY:
+            raise ConfigurationError(f"duplicate rule id {id!r}")
+        _REGISTRY[id] = Rule(
+            id=id,
+            family=family,
+            severity=severity,
+            summary=summary,
+            rationale=rationale,
+            hint=hint,
+            check=check,
+        )
+        return check
+
+    return decorate
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by family then id."""
+    _load_rule_modules()
+    return sorted(_REGISTRY.values(), key=lambda r: (r.family, r.id))
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_rule_modules()
+    found = _REGISTRY.get(rule_id)
+    if found is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown rule id {rule_id!r}; known: {known}"
+        )
+    return found
+
+
+def selected_rules(config: LintConfig) -> List[Rule]:
+    """The rules a run executes, honoring ``config.select``."""
+    rules = all_rules()
+    if config.select is None:
+        return rules
+    chosen = {get_rule(rule_id).id for rule_id in config.select}
+    return [r for r in rules if r.id in chosen]
+
+
+def override_severity(rule_id: str, severity: Severity) -> None:
+    """Re-register a rule at a different severity (config hook)."""
+    _REGISTRY[rule_id] = replace(get_rule(rule_id), severity=severity)
+
+
+def _load_rule_modules() -> None:
+    """Import the rule modules so their decorators run (idempotent)."""
+    from repro.staticlint import atomicity, crypto_rules, determinism  # noqa: F401

@@ -1,0 +1,139 @@
+"""Text and JSON reporters plus the run verdict.
+
+The exit-code policy lives here so the CLI and tests share it:
+
+* exit 0 -- no live errors (suppressed/baselined findings are fine,
+  warnings are fine unless ``--strict``);
+* exit 1 -- at least one live error finding (or warning under strict);
+* exit 2 -- usage/configuration problems (raised upstream).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.staticlint.baseline import BaselineEntry
+from repro.staticlint.findings import Finding, Severity
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    stale_baseline: List[BaselineEntry]
+    files_checked: int
+    strict: bool = False
+
+    # -- verdict --------------------------------------------------------
+
+    @property
+    def live(self) -> List[Finding]:
+        """Findings that count: not suppressed, not baselined."""
+        return [
+            f for f in self.findings
+            if not f.suppressed and not f.baselined
+        ]
+
+    @property
+    def failed(self) -> bool:
+        blocking = (
+            (Severity.ERROR, Severity.WARNING)
+            if self.strict
+            else (Severity.ERROR,)
+        )
+        if any(f.severity in blocking for f in self.live):
+            return True
+        return self.strict and bool(self.stale_baseline)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.failed else 0
+
+    def counts(self) -> Dict[str, int]:
+        live = self.live
+        return {
+            "files": self.files_checked,
+            "errors": sum(
+                1 for f in live if f.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for f in live if f.severity is Severity.WARNING
+            ),
+            "suppressed": sum(1 for f in self.findings if f.suppressed),
+            "baselined": sum(1 for f in self.findings if f.baselined),
+            "stale_baseline": len(self.stale_baseline),
+        }
+
+    # -- rendering ------------------------------------------------------
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for finding in sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+        ):
+            if finding.suppressed or finding.baselined:
+                continue
+            lines.append(finding.render())
+        for entry in self.stale_baseline:
+            lines.append(
+                f"{entry.path}: stale baseline entry for "
+                f"[{entry.rule}] ({entry.fingerprint}); remove it from "
+                "the baseline"
+            )
+        counts = self.counts()
+        lines.append(
+            f"checked {counts['files']} file(s): "
+            f"{counts['errors']} error(s), "
+            f"{counts['warnings']} warning(s), "
+            f"{counts['suppressed']} suppressed, "
+            f"{counts['baselined']} baselined"
+            + (
+                f", {counts['stale_baseline']} stale baseline entr"
+                + ("y" if counts["stale_baseline"] == 1 else "ies")
+                if counts["stale_baseline"]
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "counts": self.counts(),
+                "exit_code": self.exit_code,
+                "findings": [
+                    f.to_dict()
+                    for f in sorted(
+                        self.findings,
+                        key=lambda f: (f.path, f.line, f.col, f.rule_id),
+                    )
+                ],
+                "stale_baseline": [
+                    e.to_dict() for e in self.stale_baseline
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            return self.render_json()
+        return self.render_text()
+
+
+def rule_catalogue(rules: Sequence) -> str:
+    """The ``--list-rules`` table."""
+    lines = []
+    family = None
+    for entry in rules:
+        if entry.family != family:
+            family = entry.family
+            lines.append(f"{family} rules:")
+        lines.append(
+            f"  {entry.id:<22} {entry.severity}: {entry.summary}"
+        )
+    return "\n".join(lines)

@@ -24,14 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.crypto.hmac import hmac_digest
+from repro.crypto.hmac import constant_time_equal, hmac_digest
 from repro.errors import ConfigurationError
 from repro.ra.measurement import MeasurementConfig, MeasurementProcess
 from repro.ra.service import listen
 from repro.ra.verifier import Verifier
 from repro.sim.device import Device
 from repro.sim.network import Message
-from repro.sim.process import Process
 from repro.swarm.topology import SwarmTopology
 
 
@@ -158,7 +157,7 @@ class SwarmNodeService:
         # SEDA's join phase; we reuse the child's attestation key).
         child_key = self._child_key(aggregate.node)
         expected = hmac_digest(child_key, aggregate.tag_input(nonce))
-        if expected != aggregate.tag:
+        if not constant_time_equal(expected, aggregate.tag):
             # A forged aggregate counts its whole subtree as dirty.
             aggregate = NodeAggregate(
                 node=aggregate.node,
@@ -296,7 +295,7 @@ class SwarmAttestation:
                 total=aggregate.total,
                 dirty_nodes=list(aggregate.dirty_nodes),
                 completed_at=self.verifier.sim.now,
-                valid=expected == aggregate.tag,
+                valid=constant_time_equal(expected, aggregate.tag),
             )
         )
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-from repro.crypto.hmac import hmac_digest
+from repro.crypto.hmac import constant_time_equal, hmac_digest
 from repro.errors import ConfigurationError
 from repro.ra.service import listen
 from repro.sim.network import Message
@@ -120,7 +120,9 @@ class HeartbeatNode:
         key = pairwise_key(
             self.device.attestation_key, peer.attestation_key
         )
-        if hmac_digest(key, payload["body"]) != payload["tag"]:
+        if not constant_time_equal(
+            hmac_digest(key, payload["body"]), payload["tag"]
+        ):
             return  # forged heartbeat: ignore (absence will show)
         self.last_seen[sender] = self.device.sim.now
         # A returning neighbour is re-armed for future detection.

@@ -29,7 +29,6 @@ from repro.ra.service import listen
 from repro.ra.verifier import Verifier
 from repro.sim.device import Device
 from repro.sim.network import Message
-from repro.sim.process import Process
 from repro.swarm.topology import SwarmTopology
 
 

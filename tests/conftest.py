@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.ra.service import AttestationService, OnDemandVerifier
+from repro.ra.service import OnDemandVerifier
 from repro.ra.verifier import Verifier
 from repro.sim.device import Device
 from repro.sim.engine import Simulator

@@ -9,8 +9,6 @@ verifier keeps independent monotonic-counter streams per protocol
 replays of SeED pushes).
 """
 
-import pytest
-
 from repro.malware.transient import TransientMalware
 from repro.ra.erasmus import CollectorVerifier, ErasmusService
 from repro.ra.measurement import MeasurementConfig

@@ -3,11 +3,9 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.ra.verifier import Verifier
 from repro.sim.engine import Simulator
 from repro.swarm import make_topology
 from repro.swarm.darpa import (
-    AbsenceEvent,
     HeartbeatProtocol,
     pairwise_key,
 )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.malware.base import MalwareAgent
 from repro.malware.transient import TransientMalware
 from repro.ra.erasmus import CollectorVerifier, ErasmusService
 from repro.ra.measurement import MeasurementConfig

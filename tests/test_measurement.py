@@ -14,7 +14,6 @@ from repro.ra.measurement import (
 )
 from repro.sim.device import Device
 from repro.sim.engine import Simulator
-from repro.sim.process import Compute
 from repro.sim.task import PeriodicTask
 
 

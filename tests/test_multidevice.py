@@ -1,7 +1,5 @@
 """One verifier, many provers on a shared channel."""
 
-import pytest
-
 from repro.malware.transient import TransientMalware
 from repro.ra.report import Verdict
 from repro.ra.service import OnDemandVerifier

@@ -13,7 +13,6 @@ from repro.core.qoa import InfectionEvent, QoAParameters, QoATimeline
 from repro.ra.locking import DecLock, IncLock, make_policy
 from repro.ra.measurement import (
     MeasurementConfig,
-    expected_digest,
     traversal_order,
 )
 from repro.ra.verifier import Verifier

@@ -7,7 +7,6 @@ fast; the 1024/2048/4096 sizes of Figure 2 differ only in prime size.
 import pytest
 
 from repro.crypto.rsa import (
-    RsaKeyPair,
     _emsa_pkcs1_v15,
     rsa_generate,
     rsa_sign,

@@ -6,8 +6,6 @@ the efficiency of RA due to its low communication overhead and low
 network congestion."
 """
 
-import pytest
-
 from repro.apps.firealarm import FireAlarmApp
 from repro.ra.seed import SeedMonitor, SeedService
 from repro.ra.service import OnDemandVerifier

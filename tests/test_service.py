@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.ra.measurement import MeasurementConfig
 from repro.ra.report import Verdict
-from repro.ra.service import AttestationService, OnDemandVerifier, listen
+from repro.ra.service import AttestationService, listen
 from repro.sim.device import Device
 from repro.sim.engine import Simulator
 from repro.sim.network import Channel

@@ -12,7 +12,6 @@ from repro.apps.firealarm import FireAlarmApp
 from repro.malware.transient import TransientMalware
 from repro.ra.erasmus import CollectorVerifier, ErasmusService
 from repro.ra.measurement import MeasurementConfig
-from repro.ra.report import Verdict
 from repro.ra.seed import SeedMonitor, SeedService
 from repro.ra.service import OnDemandVerifier
 from repro.ra.smart import SmartAttestation

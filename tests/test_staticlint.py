@@ -1,0 +1,611 @@
+"""Unit tests for the determinism & crypto-safety analyzer.
+
+Each rule gets a fixture-snippet trio: a true positive, the same
+positive suppressed inline, and a near-miss that must NOT fire (the
+false-positive guard).  On top of that: suppression semantics,
+baseline round-trip, reporter output, and CLI exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.staticlint import (
+    Baseline,
+    LintConfig,
+    Severity,
+    all_rules,
+    analyze_source,
+    apply_baseline,
+    build_report,
+    load_baseline,
+    write_baseline,
+)
+from repro.staticlint.engine import suppressed_lines
+
+SIM_PATH = "src/repro/sim/fake_module.py"
+CRYPTO_PATH = "src/repro/crypto/fake_module.py"
+FLEET_PATH = "src/repro/fleet/fake_module.py"
+
+
+def findings_for(source, path=SIM_PATH, rule=None, config=None):
+    config = config or LintConfig(select=(rule,) if rule else None)
+    return analyze_source(source, path=path, config=config)
+
+
+def live(findings):
+    return [f for f in findings if not f.suppressed and not f.baselined]
+
+
+class TestWallClockRule:
+    RULE = "det-wall-clock"
+
+    def test_time_time_flagged(self):
+        src = "import time\n\nstamp = time.time()\n"
+        found = live(findings_for(src, rule=self.RULE))
+        assert [f.rule_id for f in found] == [self.RULE]
+        assert found[0].line == 3
+        assert "time.time" in found[0].message
+        assert found[0].hint
+
+    def test_aliased_import_still_resolves(self):
+        src = "from time import perf_counter as pc\n\nx = pc()\n"
+        found = live(findings_for(src, rule=self.RULE))
+        assert len(found) == 1
+        assert "perf_counter" in found[0].message
+
+    def test_datetime_now_flagged(self):
+        src = (
+            "from datetime import datetime\n"
+            "when = datetime.now()\n"
+        )
+        assert len(live(findings_for(src, rule=self.RULE))) == 1
+
+    def test_suppressed_inline(self):
+        src = (
+            "import time\n"
+            "stamp = time.time()  # repro: allow[det-wall-clock]\n"
+        )
+        found = findings_for(src, rule=self.RULE)
+        assert len(found) == 1 and found[0].suppressed
+
+    def test_telemetry_module_allowlisted(self):
+        src = "import time\n\nstamp = time.time()\n"
+        found = findings_for(
+            src, path="src/repro/fleet/clock.py", rule=self.RULE
+        )
+        assert found == []
+
+    def test_sim_now_not_flagged(self):
+        src = (
+            "def handler(sim, timing):\n"
+            "    t = sim.now\n"
+            "    cost = timing.hash_time('sha256', 1024)\n"
+            "    return t + cost\n"
+        )
+        assert findings_for(src, rule=self.RULE) == []
+
+
+class TestModuleRandomRule:
+    RULE = "det-module-random"
+
+    def test_global_rng_call_flagged(self):
+        src = "import random\n\njitter = random.random()\n"
+        found = live(findings_for(src, rule=self.RULE))
+        assert [f.rule_id for f in found] == [self.RULE]
+
+    def test_from_import_flagged(self):
+        src = "from random import choice\n\npick = choice([1, 2])\n"
+        assert len(live(findings_for(src, rule=self.RULE))) == 1
+
+    def test_suppressed(self):
+        src = (
+            "import random\n"
+            "# repro: allow[det-module-random]\n"
+            "jitter = random.random()\n"
+        )
+        found = findings_for(src, rule=self.RULE)
+        assert len(found) == 1 and found[0].suppressed
+
+    def test_seeded_instance_not_flagged(self):
+        src = (
+            "import random\n\n"
+            "rng = random.Random(42)\n"
+            "value = rng.random()\n"
+        )
+        assert findings_for(src, rule=self.RULE) == []
+
+    def test_out_of_scope_not_flagged(self):
+        src = "import random\n\njitter = random.random()\n"
+        found = findings_for(
+            src, path="src/repro/analysis/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+
+class TestUnseededRandomRule:
+    RULE = "det-unseeded-random"
+
+    def test_unseeded_flagged(self):
+        src = "import random\n\nrng = random.Random()\n"
+        found = live(findings_for(src, rule=self.RULE))
+        assert len(found) == 1
+        assert "seed" in found[0].message
+
+    def test_system_random_flagged(self):
+        src = "import random\n\nrng = random.SystemRandom()\n"
+        assert len(live(findings_for(src, rule=self.RULE))) == 1
+
+    def test_seeded_not_flagged(self):
+        src = "import random\n\nrng = random.Random(0xA77E57)\n"
+        assert findings_for(src, rule=self.RULE) == []
+
+
+class TestSetIterationRule:
+    RULE = "det-set-iteration"
+
+    def test_set_literal_iteration_flagged(self):
+        src = (
+            "def fire(sim, devices):\n"
+            "    for name in {'a', 'b'}:\n"
+            "        sim.schedule(0.0, print, name)\n"
+        )
+        found = live(findings_for(src, rule=self.RULE))
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_set_call_in_comprehension_flagged(self):
+        src = "names = [n for n in set(['a', 'b'])]\n"
+        assert len(live(findings_for(src, rule=self.RULE))) == 1
+
+    def test_sorted_set_not_flagged(self):
+        src = (
+            "def fire(sim, pending):\n"
+            "    for name in sorted(pending):\n"
+            "        sim.schedule(0.0, print, name)\n"
+        )
+        assert findings_for(src, rule=self.RULE) == []
+
+
+class TestMutableDefaultRule:
+    RULE = "det-mutable-default"
+
+    def test_list_default_flagged(self):
+        src = "def record(events=[]):\n    return events\n"
+        found = live(findings_for(src, rule=self.RULE))
+        assert len(found) == 1
+        assert "record" in found[0].message
+
+    def test_dict_call_default_flagged(self):
+        src = "def record(index=dict()):\n    return index\n"
+        assert len(live(findings_for(src, rule=self.RULE))) == 1
+
+    def test_none_default_not_flagged(self):
+        src = (
+            "def record(events=None):\n"
+            "    return [] if events is None else events\n"
+        )
+        assert findings_for(src, rule=self.RULE) == []
+
+    def test_tuple_default_not_flagged(self):
+        src = "def record(events=()):\n    return events\n"
+        assert findings_for(src, rule=self.RULE) == []
+
+
+class TestDigestEqRule:
+    RULE = "crypto-digest-eq"
+
+    def test_digest_attribute_comparison_flagged(self):
+        src = (
+            "def verify(expected, record):\n"
+            "    return expected == record.digest\n"
+        )
+        found = live(findings_for(src, rule=self.RULE))
+        assert len(found) == 1
+        assert "constant_time_equal" in found[0].hint
+
+    def test_digest_call_comparison_flagged(self):
+        src = (
+            "def verify(mac, tag):\n"
+            "    return mac.digest() != tag\n"
+        )
+        assert len(live(findings_for(src, rule=self.RULE))) == 1
+
+    def test_suppressed(self):
+        src = (
+            "def audit(a, b):\n"
+            "    return a.digest == b.digest  # repro: allow[crypto-digest-eq]\n"
+        )
+        found = findings_for(src, rule=self.RULE)
+        assert len(found) == 1 and found[0].suppressed
+
+    def test_metadata_names_not_flagged(self):
+        src = (
+            "def check(mac, algorithm):\n"
+            "    ok = mac.digest_size == 32\n"
+            "    named = algorithm == 'sha256'\n"
+            "    return ok and named\n"
+        )
+        assert findings_for(src, rule=self.RULE) == []
+
+    def test_empty_bytes_emptiness_test_not_flagged(self):
+        src = (
+            "def has_sig(report):\n"
+            "    return report.signature != b''\n"
+        )
+        assert findings_for(src, rule=self.RULE) == []
+
+    def test_constant_time_helper_not_flagged(self):
+        src = (
+            "def constant_time_equal(a, b):\n"
+            "    if len(a) != len(b):\n"
+            "        return False\n"
+            "    acc = 0\n"
+            "    for x, y in zip(a, b):\n"
+            "        acc |= x ^ y\n"
+            "    return acc == 0\n"
+        )
+        assert findings_for(src, rule=self.RULE) == []
+
+
+class TestCryptoRandomRule:
+    RULE = "crypto-random-module"
+
+    def test_import_in_crypto_flagged(self):
+        src = "import random\n"
+        found = live(
+            findings_for(src, path=CRYPTO_PATH, rule=self.RULE)
+        )
+        assert len(found) == 1
+        assert "HmacDrbg" in found[0].hint
+
+    def test_from_import_flagged(self):
+        src = "from random import randint\n"
+        assert len(
+            live(findings_for(src, path=CRYPTO_PATH, rule=self.RULE))
+        ) == 1
+
+    def test_outside_crypto_not_flagged(self):
+        src = "import random\n"
+        assert findings_for(src, path=SIM_PATH, rule=self.RULE) == []
+
+
+ATOMIC_BAD = """\
+def run(self, proc):
+    yield Atomic(True)
+    self.policy.on_start()
+    proc.sim.schedule(0.0, self.notify)
+    yield Compute(0.5)
+    yield Atomic(False)
+"""
+
+ATOMIC_BAD_YIELD = """\
+def run(self, proc):
+    yield Atomic(True)
+    yield Compute(0.5)
+    yield Sleep(1.0)
+    yield Atomic(False)
+"""
+
+ATOMIC_GOOD = """\
+def run(self, proc):
+    yield Atomic(True)
+    yield Compute(0.5)
+    yield Atomic(False)
+    proc.sim.schedule(0.0, self.notify)
+"""
+
+
+class TestAtomicGapRule:
+    RULE = "ra-atomic-gap"
+
+    def test_schedule_inside_window_flagged(self):
+        found = live(
+            findings_for(
+                ATOMIC_BAD, path="src/repro/ra/fake.py", rule=self.RULE
+            )
+        )
+        assert len(found) == 1
+        assert "schedule()" in found[0].message
+
+    def test_preemptible_yield_flagged(self):
+        found = live(
+            findings_for(
+                ATOMIC_BAD_YIELD, path="src/repro/ra/fake.py",
+                rule=self.RULE,
+            )
+        )
+        assert len(found) == 1
+        assert "cedes the CPU" in found[0].message
+
+    def test_schedule_after_window_not_flagged(self):
+        found = findings_for(
+            ATOMIC_GOOD, path="src/repro/ra/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+    def test_non_atomic_function_not_flagged(self):
+        src = (
+            "def run(self, proc):\n"
+            "    proc.sim.schedule(0.0, self.notify)\n"
+            "    yield Compute(0.5)\n"
+        )
+        found = findings_for(
+            src, path="src/repro/ra/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+
+class TestSuppressionSemantics:
+    def test_standalone_comment_covers_next_line(self):
+        allowed = suppressed_lines(
+            [
+                "# repro: allow[det-wall-clock]",
+                "stamp = time.time()",
+            ]
+        )
+        assert allowed == {2: {"det-wall-clock"}}
+
+    def test_multiple_rules_and_wildcard(self):
+        allowed = suppressed_lines(
+            ["x = f()  # repro: allow[rule-a, rule-b]",
+             "y = g()  # repro: allow[*]"]
+        )
+        assert allowed[1] == {"rule-a", "rule-b"}
+        assert allowed[2] == {"*"}
+
+    def test_wildcard_suppresses_any_rule(self):
+        src = "import time\nstamp = time.time()  # repro: allow[*]\n"
+        found = findings_for(src, rule="det-wall-clock")
+        assert len(found) == 1 and found[0].suppressed
+
+    def test_unrelated_rule_id_does_not_suppress(self):
+        src = (
+            "import time\n"
+            "stamp = time.time()  # repro: allow[crypto-digest-eq]\n"
+        )
+        found = findings_for(src, rule="det-wall-clock")
+        assert len(found) == 1 and not found[0].suppressed
+
+
+class TestParseError:
+    def test_syntax_error_is_reported_not_raised(self):
+        found = analyze_source("def broken(:\n", path=SIM_PATH)
+        assert [f.rule_id for f in found] == ["parse-error"]
+        assert found[0].severity is Severity.ERROR
+
+
+class TestBaseline:
+    SRC = "import time\n\nstamp = time.time()\n"
+
+    def test_round_trip_accepts_finding(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        findings = findings_for(self.SRC, rule="det-wall-clock")
+        write_baseline(target, findings)
+        baseline = load_baseline(target)
+        assert len(baseline.entries) == 1
+        marked, stale = apply_baseline(findings, baseline)
+        assert stale == []
+        assert all(f.baselined for f in marked)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = load_baseline(tmp_path / "absent.json")
+        assert baseline.entries == []
+
+    def test_stale_entries_surface(self):
+        findings = findings_for(self.SRC, rule="det-wall-clock")
+        write_target = findings[0]
+        baseline = Baseline.from_dict(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "rule": write_target.rule_id,
+                        "path": write_target.path,
+                        "fingerprint": "0" * 16,
+                        "justification": "gone",
+                    }
+                ],
+            }
+        )
+        marked, stale = apply_baseline(findings, baseline)
+        assert len(stale) == 1
+        assert not marked[0].baselined
+
+    def test_fingerprint_survives_line_moves(self):
+        shifted = "import time\n\n\n\nstamp = time.time()\n"
+        first = findings_for(self.SRC, rule="det-wall-clock")[0]
+        second = findings_for(shifted, rule="det-wall-clock")[0]
+        assert first.fingerprint() == second.fingerprint()
+        assert first.line != second.line
+
+
+class TestReportAndExitCodes:
+    def test_clean_report_exits_zero(self, tmp_path):
+        module = tmp_path / "repro" / "sim" / "clean.py"
+        module.parent.mkdir(parents=True)
+        module.write_text("VALUE = 1\n", encoding="utf-8")
+        report = build_report([str(tmp_path)])
+        assert report.exit_code == 0
+        assert "0 error(s)" in report.render_text()
+
+    def test_error_report_exits_one(self, tmp_path):
+        module = tmp_path / "repro" / "sim" / "dirty.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "import time\nstamp = time.time()\n", encoding="utf-8"
+        )
+        report = build_report([str(tmp_path)])
+        assert report.exit_code == 1
+        text = report.render_text()
+        assert "[det-wall-clock]" in text
+        assert "dirty.py:2" in text
+        assert "hint:" in text
+
+    def test_warnings_only_fail_under_strict(self, tmp_path):
+        module = tmp_path / "repro" / "sim" / "warny.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "def go(sim):\n"
+            "    for name in {'a', 'b'}:\n"
+            "        sim.schedule(0.0, print, name)\n",
+            encoding="utf-8",
+        )
+        relaxed = build_report([str(tmp_path)])
+        strict = build_report([str(tmp_path)], strict=True)
+        assert relaxed.exit_code == 0
+        assert strict.exit_code == 1
+
+    def test_json_report_shape(self, tmp_path):
+        module = tmp_path / "repro" / "sim" / "dirty.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "import time\nstamp = time.time()\n", encoding="utf-8"
+        )
+        report = build_report([str(tmp_path)])
+        payload = json.loads(report.render_json())
+        assert payload["exit_code"] == 1
+        assert payload["counts"]["errors"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "det-wall-clock"
+        assert finding["fingerprint"]
+
+    def test_baselined_finding_does_not_fail(self, tmp_path):
+        module = tmp_path / "repro" / "sim" / "legacy.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "import time\nstamp = time.time()\n", encoding="utf-8"
+        )
+        baseline_path = tmp_path / "baseline.json"
+        first = build_report([str(tmp_path)])
+        write_baseline(baseline_path, first.findings)
+        second = build_report(
+            [str(tmp_path)], baseline_path=str(baseline_path)
+        )
+        assert second.exit_code == 0
+        assert second.counts()["baselined"] == 1
+
+
+class TestCliIntegration:
+    def run_cli(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_lint_dirty_file_fails_with_details(self, tmp_path, capsys):
+        module = tmp_path / "repro" / "sim" / "dirty.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "import time\nstamp = time.time()\n", encoding="utf-8"
+        )
+        code, out = self.run_cli(
+            ["lint", str(tmp_path), "--no-baseline"], capsys
+        )
+        assert code == 1
+        assert "[det-wall-clock]" in out
+        assert "dirty.py:2" in out
+        assert "hint:" in out
+
+    def test_lint_clean_file_passes(self, tmp_path, capsys):
+        module = tmp_path / "module.py"
+        module.write_text("VALUE = 1\n", encoding="utf-8")
+        code, out = self.run_cli(
+            ["lint", str(module), "--no-baseline"], capsys
+        )
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_list_rules(self, capsys):
+        code, out = self.run_cli(["lint", "--list-rules"], capsys)
+        assert code == 0
+        for rule in all_rules():
+            assert rule.id in out
+
+    def test_unknown_select_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        module = tmp_path / "module.py"
+        module.write_text("VALUE = 1\n", encoding="utf-8")
+        code = main(
+            [
+                "lint", str(module), "--no-baseline",
+                "--select", "no-such-rule",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no-such-rule" in captured.err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["lint", str(tmp_path / "absent"), "--no-baseline"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no such path" in captured.err
+
+    def test_select_subset(self, tmp_path, capsys):
+        module = tmp_path / "repro" / "sim" / "dirty.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "import time\nstamp = time.time()\n", encoding="utf-8"
+        )
+        code, out = self.run_cli(
+            [
+                "lint", str(tmp_path), "--no-baseline",
+                "--select", "det-mutable-default",
+            ],
+            capsys,
+        )
+        assert code == 0
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        module = tmp_path / "repro" / "sim" / "legacy.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "import time\nstamp = time.time()\n", encoding="utf-8"
+        )
+        baseline = tmp_path / "baseline.json"
+        code, out = self.run_cli(
+            [
+                "lint", str(tmp_path),
+                "--write-baseline", "--baseline", str(baseline),
+            ],
+            capsys,
+        )
+        assert code == 0 and "baselined 1" in out
+        code, out = self.run_cli(
+            ["lint", str(tmp_path), "--baseline", str(baseline)], capsys
+        )
+        assert code == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        module = tmp_path / "module.py"
+        module.write_text("VALUE = 1\n", encoding="utf-8")
+        code, out = self.run_cli(
+            ["lint", str(module), "--no-baseline", "--format", "json"],
+            capsys,
+        )
+        assert code == 0
+        assert json.loads(out)["counts"]["files"] == 1
+
+
+class TestRegistry:
+    def test_catalogue_covers_three_families(self):
+        families = {rule.family for rule in all_rules()}
+        assert families == {"determinism", "crypto", "atomicity"}
+
+    def test_every_rule_has_rationale_and_hint(self):
+        for rule in all_rules():
+            assert rule.rationale, rule.id
+            assert rule.hint, rule.id
+            assert rule.summary, rule.id
+
+    def test_unknown_select_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            build_report(
+                [], config=LintConfig(select=("no-such-rule",))
+            )
