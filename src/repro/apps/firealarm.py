@@ -134,6 +134,11 @@ class FireAlarmApp:
         reading = self.temperature()
         self.samples += 1
         self.readings.append(reading)
+        obs = self.device.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "app.samples", "temperature samples taken",
+            ).inc()
         if self.data_block is not None:
             record = task.jobs[-1]
             encoded = int(reading * 100).to_bytes(4, "big")
@@ -151,6 +156,18 @@ class FireAlarmApp:
                     if self.fire_at is not None else None
                 ),
             )
+            if obs.enabled and self.fire_at is not None:
+                # The fire-to-alarm interval is the paper's Section 2.5
+                # damage metric; its endpoints live in different
+                # events, hence retrospective recording.
+                obs.spans.add_span(
+                    "app.fire_to_alarm", self.fire_at, self.alarm_at,
+                    category="app", task=task.name,
+                )
+                obs.metrics.histogram(
+                    "app.alarm.latency",
+                    "fire start to alarm sounded (sim s)",
+                ).observe(self.alarm_at - self.fire_at)
 
     # -- results ------------------------------------------------------------------
 

@@ -21,6 +21,12 @@ and the fleet campaign runner (docs/fleet.md)::
 plus the in-tree static analyzer (docs/static_analysis.md)::
 
     repro lint [paths]    # determinism & crypto-safety lint
+
+and the observability layer (docs/observability.md)::
+
+    repro obs export-trace    # Perfetto-loadable Chrome trace JSON
+    repro obs export-metrics  # Prometheus-text / JSONL metric snapshot
+    repro profile             # event-loop hot-spot table
 """
 
 from __future__ import annotations
@@ -133,6 +139,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
 
+    obs = sub.add_parser(
+        "obs", help="observability exports: trace / metrics"
+    )
+    from repro.obs.cli import add_obs_arguments, add_profile_arguments
+
+    add_obs_arguments(obs)
+
+    profile = sub.add_parser(
+        "profile", help="event-loop hot-spot profiling"
+    )
+    add_profile_arguments(profile)
+
     sub.add_parser("all", help="run every experiment")
     return parser
 
@@ -172,6 +190,14 @@ def _run(command: str, args: argparse.Namespace) -> str:
         return _run_swatt(args)
     if command == "fleet":
         return _run_fleet(args)
+    if command == "obs":
+        from repro.obs.cli import run_obs
+
+        return run_obs(args)
+    if command == "profile":
+        from repro.obs.cli import run_profile
+
+        return run_profile(args)
     raise AssertionError(f"unhandled command {command!r}")
 
 

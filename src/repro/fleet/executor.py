@@ -51,6 +51,8 @@ from repro.fleet.telemetry import (
     verdict_histogram,
 )
 from repro.malware.relocating import SelfRelocatingMalware
+from repro.obs.core import Observability
+from repro.obs.metrics import MetricsRegistry
 from repro.malware.transient import TransientMalware
 from repro.ra.erasmus import CollectorVerifier
 from repro.ra.measurement import MeasurementConfig
@@ -151,9 +153,17 @@ def _qoa_stats(spec: RunSpec) -> Dict[str, float]:
     return stats
 
 
-def execute_run(spec: RunSpec) -> RunResult:
+def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
     """Build and run one scenario; raises on internal failure (the
-    executor wraps this with retry/timeout handling)."""
+    executor wraps this with retry/timeout handling).
+
+    ``obs`` overrides the observability bundle; the default is a fresh
+    metrics-only bundle, whose sim-time snapshot lands in
+    ``RunResult.telemetry`` -- deterministic, so serial and parallel
+    execution still produce byte-identical result lines.  Pass a
+    span/profiler-enabled bundle (``repro obs`` / ``repro profile``)
+    to capture the full timeline of a single run.
+    """
     if spec.mechanism == "crashtest":
         raise InjectedFailure("injected crashtest failure")
     if spec.mechanism == "sleeptest":
@@ -163,7 +173,9 @@ def execute_run(spec: RunSpec) -> RunResult:
         return RunResult(run_id=spec.run_id, spec=spec.to_dict(),
                          sim_time=spec.horizon)
 
-    sim = Simulator()
+    if obs is None:
+        obs = Observability(metrics=MetricsRegistry())
+    sim = Simulator(obs=obs)
     device = Device(
         sim,
         block_count=spec.block_count,
@@ -300,6 +312,7 @@ def execute_run(spec: RunSpec) -> RunResult:
         lock_ops=device.mpu.lock_ops + device.mpu.unlock_ops,
         trace_events=len(device.trace),
         trace_dropped=device.trace.dropped,
+        telemetry=obs.metrics.snapshot_flat(),
         sim_time=sim_time,
     )
 

@@ -110,6 +110,8 @@ class GroupSummary:
     write_faults: int = 0
     mp_durations: List[float] = field(default_factory=list)
     detection_probabilities: List[float] = field(default_factory=list)
+    #: summed sim-time metric snapshots (repro.obs) across ok runs
+    telemetry_totals: Dict[str, float] = field(default_factory=dict)
 
     @property
     def detection_rate(self) -> float:
@@ -134,6 +136,9 @@ class GroupSummary:
         data["detection_rate"] = self.detection_rate
         data["mean_miss_rate"] = self.mean_miss_rate
         data["latency_percentiles"] = self.latency_percentiles()
+        data["telemetry_totals"] = dict(
+            sorted(self.telemetry_totals.items())
+        )
         data["mean_mp_duration"] = (
             sum(self.mp_durations) / len(self.mp_durations)
             if self.mp_durations
@@ -232,6 +237,10 @@ def summarize(
         probability = result.qoa.get("detection_probability")
         if probability is not None:
             group.detection_probabilities.append(probability)
+        for name, value in result.telemetry.items():
+            group.telemetry_totals[name] = (
+                group.telemetry_totals.get(name, 0.0) + value
+            )
     return CampaignSummary(
         campaign=campaign, groups=groups, total_runs=total
     )

@@ -59,6 +59,10 @@ class RunResult:
     # -- trace ----------------------------------------------------------
     trace_events: int = 0
     trace_dropped: int = 0
+    # -- observability ---------------------------------------------------
+    #: flat sim-time metric snapshot (repro.obs); deterministic because
+    #: every value is stamped from the simulation clock
+    telemetry: Dict[str, float] = field(default_factory=dict)
     # -- time ------------------------------------------------------------
     sim_time: float = 0.0
     wall_clock: float = 0.0  # volatile
@@ -72,6 +76,7 @@ class RunResult:
         data["spec"] = dict(sorted(self.spec.items()))
         data["verdict_counts"] = dict(sorted(self.verdict_counts.items()))
         data["qoa"] = dict(sorted(self.qoa.items()))
+        data["telemetry"] = dict(sorted(self.telemetry.items()))
         if deterministic:
             for name in VOLATILE_FIELDS:
                 data.pop(name, None)

@@ -1,0 +1,51 @@
+"""Observability: spans, sim-time metrics, event-loop profiling.
+
+See :mod:`repro.obs.core` for the façade and docs/observability.md for
+the span model and exporter formats.
+"""
+
+from repro.obs.chrome import chrome_trace_events, write_chrome_trace
+from repro.obs.core import NULL_OBS, NullObservability, Observability
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    to_prometheus_text,
+)
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    EventLoopProfiler,
+    NullProfiler,
+    SiteStats,
+    callback_site,
+)
+from repro.obs.spans import NULL_TRACKER, NullSpanTracker, Span, SpanTracker
+
+__all__ = [
+    "NULL_OBS",
+    "NULL_PROFILER",
+    "NULL_REGISTRY",
+    "NULL_TRACKER",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "EventLoopProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullObservability",
+    "NullProfiler",
+    "NullSpanTracker",
+    "Observability",
+    "Span",
+    "SpanTracker",
+    "SiteStats",
+    "callback_site",
+    "chrome_trace_events",
+    "to_prometheus_text",
+    "write_chrome_trace",
+]

@@ -1,0 +1,148 @@
+"""Chrome trace-event export: open a simulation in Perfetto.
+
+Maps an observability capture onto the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev:
+
+* every finished :class:`~repro.obs.spans.Span` becomes a complete
+  ``"X"`` event (``ts``/``dur`` in microseconds of *sim* time);
+* still-open spans are clamped to the capture end so a crashed or
+  truncated run still renders;
+* flat :class:`~repro.sim.trace.Trace` records become ``"i"`` instant
+  events, so the classic timeline markers (``mp.start``, ``infect``,
+  ``alarm``) appear alongside the nested windows.
+
+Tracks: ``pid`` is always 1 (one simulated world); ``tid`` groups by
+the span's category root (``ra.measurement`` -> ``ra``), with instant
+records on their own ``trace`` track.  Thread-name metadata events
+label the tracks in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.spans import Span, SpanTracker
+
+_PID = 1
+
+#: fixed track order: known category roots first, then alphabetical
+_TRACK_ORDER = ("sim", "ra", "net", "app", "fleet")
+
+
+def _track_name(span: Span) -> str:
+    category = span.category or "sim"
+    return category.split(".", 1)[0]
+
+
+def _tid_map(names: List[str]) -> Dict[str, int]:
+    known = [n for n in _TRACK_ORDER if n in names]
+    extra = sorted(n for n in names if n not in _TRACK_ORDER)
+    return {name: i + 1 for i, name in enumerate(known + extra)}
+
+
+def _micros(seconds: float) -> float:
+    # Perfetto wants microseconds; round to a tenth of a ns so float
+    # noise does not leak into the JSON.
+    return round(seconds * 1e6, 4)
+
+
+def chrome_trace_events(
+    spans: SpanTracker,
+    trace: Optional[Any] = None,
+    clamp_end: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """Build the ``traceEvents`` list for a capture.
+
+    ``trace`` is an optional :class:`repro.sim.trace.Trace` whose flat
+    records become instant events.  ``clamp_end`` closes still-open
+    spans at the given sim time (defaults to the latest timestamp seen
+    in the capture).
+    """
+    if clamp_end is None:
+        clamp_end = 0.0
+        for span in spans:
+            clamp_end = max(clamp_end, span.start, span.end or 0.0)
+        if trace is not None:
+            for rec in trace:
+                clamp_end = max(clamp_end, rec.time)
+
+    track_names = sorted({_track_name(s) for s in spans})
+    if trace is not None and len(trace):
+        track_names.append("trace")
+    tids = _tid_map(track_names)
+
+    events: List[Dict[str, Any]] = []
+    for name, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append({
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": name},
+        })
+
+    for span in spans:
+        end = span.end if span.end is not None else clamp_end
+        args = {k: _arg(v) for k, v in sorted(span.args.items())}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.end is None:
+            args["truncated"] = True
+        events.append({
+            "ph": "X",
+            "pid": _PID,
+            "tid": tids[_track_name(span)],
+            "name": span.name,
+            "cat": span.category or "sim",
+            "ts": _micros(span.start),
+            "dur": _micros(max(0.0, end - span.start)),
+            "args": args,
+        })
+
+    if trace is not None:
+        trace_tid = tids.get("trace")
+        for rec in trace:
+            events.append({
+                "ph": "i",
+                "pid": _PID,
+                "tid": trace_tid,
+                "name": rec.kind,
+                "cat": "trace",
+                "ts": _micros(rec.time),
+                "s": "t",
+                "args": {
+                    "source": rec.source,
+                    **{k: _arg(v) for k, v in sorted(rec.data.items())},
+                },
+            })
+
+    return events
+
+
+def _arg(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    return str(value)
+
+
+def write_chrome_trace(
+    path: Any,
+    spans: SpanTracker,
+    trace: Optional[Any] = None,
+    clamp_end: Optional[float] = None,
+) -> int:
+    """Write a Perfetto-loadable JSON file; returns the event count."""
+    events = chrome_trace_events(spans, trace, clamp_end)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "time_unit": "sim-us"},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=1)
+        handle.write("\n")
+    return len(events)

@@ -1,0 +1,149 @@
+"""CLI entry points: ``repro obs`` and ``repro profile``.
+
+``repro obs export-trace`` replays one fleet run with full span
+tracking and writes a Chrome trace-event JSON that opens directly in
+https://ui.perfetto.dev (or ``chrome://tracing``).  ``repro obs
+export-metrics`` writes the same run's sim-time metric snapshot as
+Prometheus text or JSONL.  ``repro profile`` replays one or more runs
+of a campaign under the event-loop profiler and prints the hot-spot
+table -- the quantitative answer to "which mechanism burns the event
+loop".
+
+Wall-clock readings for the profiler come from
+:func:`repro.fleet.clock.perf_time`, the repository's only allowlisted
+wall-clock source, so everything here stays clean under ``repro lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.obs.chrome import write_chrome_trace
+from repro.obs.core import Observability
+from repro.obs.metrics import to_prometheus_text
+from repro.obs.profiler import EventLoopProfiler
+
+
+def _campaign_specs(args: argparse.Namespace) -> List:
+    from repro.fleet import canned_campaign
+
+    campaign = canned_campaign(args.campaign, seed_count=args.seeds)
+    return campaign.plan()
+
+
+def _pick_spec(args: argparse.Namespace):
+    specs = _campaign_specs(args)
+    if not 0 <= args.index < len(specs):
+        raise SystemExit(
+            f"--index {args.index} out of range; campaign "
+            f"{args.campaign!r} plans {len(specs)} runs"
+        )
+    return specs[args.index]
+
+
+# ---------------------------------------------------------------------------
+# repro obs
+# ---------------------------------------------------------------------------
+
+
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="obs_command", required=True)
+
+    def add_run_selection(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--campaign", default="locking",
+                       help="canned campaign name (qoa, matrix, locking)")
+        p.add_argument("--seeds", type=int, default=1,
+                       help="seed count for the campaign plan")
+        p.add_argument("--index", type=int, default=0,
+                       help="which planned run to replay")
+
+    trace = sub.add_parser(
+        "export-trace",
+        help="replay one run and write a Perfetto/Chrome trace JSON",
+    )
+    add_run_selection(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (default trace.json)")
+
+    metrics = sub.add_parser(
+        "export-metrics",
+        help="replay one run and export its sim-time metrics",
+    )
+    add_run_selection(metrics)
+    metrics.add_argument("--out", default="metrics.prom",
+                         help="output path (default metrics.prom)")
+    metrics.add_argument("--format", default="prometheus",
+                         choices=["prometheus", "jsonl"])
+
+
+def run_obs(args: argparse.Namespace) -> str:
+    from repro.fleet.executor import execute_run
+
+    spec = _pick_spec(args)
+    obs = Observability.enabled()
+    result = execute_run(spec, obs=obs)
+
+    if args.obs_command == "export-trace":
+        events = write_chrome_trace(args.out, obs.spans)
+        return (
+            f"run {result.run_id} ({spec.mechanism} vs {spec.adversary}): "
+            f"{len(obs.spans)} spans -> {events} trace events\n"
+            f"wrote {args.out}; open it at https://ui.perfetto.dev"
+        )
+
+    # export-metrics
+    if args.format == "jsonl":
+        count = obs.metrics.to_jsonl(args.out)
+        what = f"{count} metric lines"
+    else:
+        text = to_prometheus_text(obs.metrics)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        what = f"{len(obs.metrics)} instruments"
+    return (
+        f"run {result.run_id} ({spec.mechanism} vs {spec.adversary}): "
+        f"{what}\nwrote {args.out}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# repro profile
+# ---------------------------------------------------------------------------
+
+
+def add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--campaign", default="qoa",
+                        help="canned campaign name (qoa, matrix, locking)")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="seed count for the campaign plan")
+    parser.add_argument("--runs", type=int, default=4,
+                        help="profile the first N planned runs")
+    parser.add_argument("--by", default="events",
+                        choices=["events", "sim_time", "wall_time"],
+                        help="hot-spot sort column")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows in the hot-spot table")
+    parser.add_argument("--no-wall", action="store_true",
+                        help="sim-time-only profiling (fully deterministic)")
+
+
+def run_profile(args: argparse.Namespace) -> str:
+    from repro.fleet.clock import perf_time
+    from repro.fleet.executor import execute_run
+
+    specs = _campaign_specs(args)[: max(1, args.runs)]
+    wall = None if args.no_wall else perf_time
+    profiler = EventLoopProfiler(wall_clock=wall)
+    obs = Observability(profiler=profiler)
+    for spec in specs:
+        execute_run(spec, obs=obs)
+    mechanisms = sorted({spec.mechanism for spec in specs})
+    lines = [
+        f"profiled {len(specs)} run(s) of campaign {args.campaign!r} "
+        f"({', '.join(mechanisms)}): {profiler.total_events} events, "
+        f"{profiler.total_sim_time:.3f} sim-seconds",
+        "",
+        profiler.render(by=args.by, limit=args.top),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""The observability façade: one object carrying spans + metrics + profiler.
+
+Everything downstream of the simulator reaches instrumentation through
+``sim.obs`` -- an :class:`Observability` bundle or the shared
+:data:`NULL_OBS`.  The null bundle's members are the per-layer null
+objects, so instrumented code never branches on "is obs on?" for
+correctness, only (optionally) for speed in hot loops.
+
+Construction idiom::
+
+    obs = Observability.enabled()          # spans + metrics
+    obs = Observability.enabled(profile=wall_clock_fn)   # + profiler
+    sim = Simulator(obs=obs)               # binds obs.clock to sim.now
+
+The simulator binds the sim clock into the bundle at construction
+(:meth:`Observability.bind_clock`), after which every span endpoint
+and metric update is stamped in simulation time.  Nothing here ever
+reads a wall clock; profiling wall-time is an *injected* callable the
+caller must source from :mod:`repro.fleet.clock`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.profiler import NULL_PROFILER, EventLoopProfiler, NullProfiler
+from repro.obs.spans import NULL_TRACKER, NullSpanTracker, SpanTracker
+
+TimeFn = Callable[[], float]
+
+
+class Observability:
+    """Bundle of span tracker, metrics registry and profiler."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        spans: Optional[SpanTracker] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[EventLoopProfiler] = None,
+    ) -> None:
+        self.spans = spans if spans is not None else NULL_TRACKER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+
+    @classmethod
+    def enabled(
+        cls,
+        spans: bool = True,
+        metrics: bool = True,
+        profile: Optional[TimeFn] = None,
+        profile_events: bool = False,
+    ) -> "Observability":
+        """Build a live bundle.
+
+        ``profile`` turns on the event-loop profiler with the given
+        wall clock (pass :func:`repro.fleet.clock.perf_time`);
+        ``profile_events`` enables it in sim-time-only mode, which
+        stays fully deterministic.
+        """
+        return cls(
+            spans=SpanTracker() if spans else None,
+            metrics=MetricsRegistry() if metrics else None,
+            profiler=(
+                EventLoopProfiler(wall_clock=profile)
+                if (profile is not None or profile_events)
+                else None
+            ),
+        )
+
+    def bind_clock(self, clock: TimeFn) -> None:
+        """Point span and metric timestamps at the simulation clock.
+
+        Called by :class:`repro.sim.engine.Simulator` when the bundle
+        is attached; spans/metrics recorded before binding are stamped
+        at 0.0.
+        """
+        if isinstance(self.spans, SpanTracker):
+            self.spans.clock = clock
+        if isinstance(self.metrics, MetricsRegistry):
+            self.metrics.clock = clock
+
+
+class NullObservability:
+    """The default: all three members are the shared null objects."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    spans: NullSpanTracker = NULL_TRACKER
+    metrics: NullMetricsRegistry = NULL_REGISTRY
+    profiler: NullProfiler = NULL_PROFILER
+
+    def bind_clock(self, clock: TimeFn) -> None:
+        pass
+
+
+#: the shared disabled bundle -- what ``Simulator()`` attaches by default
+NULL_OBS = NullObservability()

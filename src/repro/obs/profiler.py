@@ -1,0 +1,193 @@
+"""Event-loop profiling: attribute events and sim-time to callback sites.
+
+The simulator's hot loop is ``step()``: pop the next ``(time, seq,
+callback)`` and fire it.  :class:`EventLoopProfiler` hooks that loop
+and charges each fired event to its *callback site* -- the function's
+``module.qualname`` -- accumulating
+
+* how many events the site fired,
+* how much simulation time advanced into the site's events (the gap
+  between the previous ``now`` and the event's timestamp), and
+* optionally how much wall time the callbacks consumed, when a wall
+  clock is injected (callers must pass one from
+  :mod:`repro.fleet.clock`; the profiler itself never reads a clock,
+  keeping the determinism lint clean).
+
+Sim-time attribution is deterministic: identical runs produce
+identical tables.  Wall-time columns are diagnostic only and excluded
+from any artifact that must be byte-stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+TimeFn = Callable[[], float]
+
+
+def callback_site(callback: Callable[..., Any]) -> str:
+    """Stable ``module.qualname`` label for an event callback."""
+    func = callback
+    # functools.partial and bound-method wrappers: unwrap to the code
+    # that actually runs, so e.g. every CPU resume attributes to the
+    # scheduler method, not to N distinct partial objects.
+    func = getattr(func, "func", func)
+    func = getattr(func, "__func__", func)
+    module = getattr(func, "__module__", None) or "<unknown>"
+    qualname = getattr(func, "__qualname__", None)
+    if qualname is None:
+        qualname = type(callback).__name__
+    return f"{module}.{qualname}"
+
+
+class SiteStats:
+    """Accumulated cost of one callback site."""
+
+    __slots__ = ("site", "events", "sim_time", "wall_time")
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self.events = 0
+        self.sim_time = 0.0
+        self.wall_time = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "site": self.site,
+            "events": self.events,
+            "sim_time": self.sim_time,
+            "wall_time": self.wall_time,
+        }
+
+
+class EventLoopProfiler:
+    """Per-site event accounting, driven by the simulator's step loop.
+
+    The simulator calls :meth:`record` once per fired event with the
+    callback object and how far ``now`` advanced to reach it.  When a
+    ``wall_clock`` callable is supplied the callback's wall duration is
+    measured too (bracketed by the simulator around the call).
+    """
+
+    enabled = True
+
+    def __init__(self, wall_clock: Optional[TimeFn] = None) -> None:
+        self.sites: Dict[str, SiteStats] = {}
+        self.total_events = 0
+        self.total_sim_time = 0.0
+        self.wall_clock = wall_clock
+
+    # -- recording ------------------------------------------------------
+
+    def record(
+        self,
+        callback: Callable[..., Any],
+        sim_advanced: float,
+        wall_elapsed: float = 0.0,
+    ) -> None:
+        site = callback_site(callback)
+        stats = self.sites.get(site)
+        if stats is None:
+            stats = SiteStats(site)
+            self.sites[site] = stats
+        stats.events += 1
+        stats.sim_time += sim_advanced
+        stats.wall_time += wall_elapsed
+        self.total_events += 1
+        self.total_sim_time += sim_advanced
+
+    # -- reporting ------------------------------------------------------
+
+    def hotspots(
+        self, by: str = "events", limit: Optional[int] = None
+    ) -> List[SiteStats]:
+        """Sites sorted by the given column, heaviest first.
+
+        Ties break on the site name so the order is deterministic.
+        """
+        key: Callable[[SiteStats], Tuple]
+        if by == "events":
+            key = lambda s: (-s.events, s.site)  # noqa: E731
+        elif by == "sim_time":
+            key = lambda s: (-s.sim_time, s.site)  # noqa: E731
+        elif by == "wall_time":
+            key = lambda s: (-s.wall_time, s.site)  # noqa: E731
+        else:
+            raise ValueError(f"unknown sort column {by!r}")
+        ranked = sorted(self.sites.values(), key=key)
+        return ranked[:limit] if limit is not None else ranked
+
+    def render(
+        self, by: str = "events", limit: Optional[int] = 20
+    ) -> str:
+        """Fixed-width hot-spot table for terminal output."""
+        rows = self.hotspots(by=by, limit=limit)
+        include_wall = self.wall_clock is not None
+        header = (
+            f"{'events':>10}  {'ev%':>6}  {'sim_time':>12}  {'sim%':>6}"
+        )
+        if include_wall:
+            header += f"  {'wall_ms':>10}"
+        header += "  site"
+        lines = [header, "-" * len(header)]
+        for stats in rows:
+            ev_share = (
+                100.0 * stats.events / self.total_events
+                if self.total_events else 0.0
+            )
+            sim_share = (
+                100.0 * stats.sim_time / self.total_sim_time
+                if self.total_sim_time else 0.0
+            )
+            line = (
+                f"{stats.events:>10}  {ev_share:>5.1f}%  "
+                f"{stats.sim_time:>12.6f}  {sim_share:>5.1f}%"
+            )
+            if include_wall:
+                line += f"  {stats.wall_time * 1e3:>10.3f}"
+            line += f"  {stats.site}"
+            lines.append(line)
+        lines.append("-" * len(header))
+        lines.append(
+            f"{self.total_events:>10}  100.0%  "
+            f"{self.total_sim_time:>12.6f}  100.0%"
+            + (f"  {'':>10}" if include_wall else "")
+            + "  TOTAL"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_events": self.total_events,
+            "total_sim_time": self.total_sim_time,
+            "sites": [
+                s.to_dict() for s in self.hotspots(by="events")
+            ],
+        }
+
+
+class NullProfiler:
+    """Disabled profiler; the simulator skips the bracketing entirely."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    wall_clock = None
+    total_events = 0
+    total_sim_time = 0.0
+
+    def record(self, callback, sim_advanced, wall_elapsed=0.0) -> None:
+        pass
+
+    def hotspots(self, by="events", limit=None):
+        return []
+
+    def render(self, by="events", limit=20) -> str:
+        return "(profiling disabled)"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"total_events": 0, "total_sim_time": 0.0, "sites": []}
+
+
+NULL_PROFILER = NullProfiler()

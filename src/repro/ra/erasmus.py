@@ -173,9 +173,20 @@ class ErasmusService:
 
     def _store(self, record: MeasurementRecord) -> None:
         self.history.append(record)
+        obs = self.device.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "erasmus.measurements.stored",
+                "self-measurements appended to the history ring",
+            ).inc()
         if len(self.history) > self.history_size:
             self.history.pop(0)
             self.dropped_records += 1
+            if obs.enabled:
+                obs.metrics.counter(
+                    "erasmus.records.dropped",
+                    "history-ring evictions before collection",
+                ).inc()
 
     # -- collection ------------------------------------------------------------
 
@@ -277,7 +288,7 @@ class CollectorVerifier:
         """Ask ``device_name`` for its stored measurements."""
         self._nonce_counter += 1
         nonce = b"collect" + self._nonce_counter.to_bytes(8, "big")
-        self._outstanding[nonce] = on_result
+        self._outstanding[nonce] = (on_result, self.verifier.sim.now)
         self.endpoint.send(device_name, "collect_request", {"nonce": nonce})
 
     def collect_every(self, device_name: str, period: float,
@@ -295,13 +306,15 @@ class CollectorVerifier:
         nonce = payload.get("nonce", b"")
         if nonce not in self._outstanding:
             return  # stale or replayed collection
-        on_result = self._outstanding.pop(nonce)
+        on_result, requested_at = self._outstanding.pop(nonce)
         report: AttestationReport = payload["report"]
         self.verifier.sim.schedule(
-            self.verify_latency, self._finish, report, on_result
+            self.verify_latency, self._finish, report, on_result,
+            requested_at,
         )
 
-    def _finish(self, report: AttestationReport, on_result) -> None:
+    def _finish(self, report: AttestationReport, on_result,
+                requested_at: float) -> None:
         result = self.verifier.verify_report(
             report, enforce_counter=True, counter_stream="erasmus-collect"
         )
@@ -313,5 +326,20 @@ class CollectorVerifier:
             report=report,
         )
         self.collections.append(collection)
+        obs = self.verifier.sim.obs
+        if obs.enabled:
+            now = self.verifier.sim.now
+            obs.spans.add_span(
+                "erasmus.collection", requested_at, now,
+                category="ra.verifier", device=report.device,
+                records=len(report.records),
+            )
+            obs.metrics.counter(
+                "erasmus.collections", "completed collection round trips",
+            ).inc()
+            obs.metrics.histogram(
+                "erasmus.collection.latency",
+                "collect request to verdict (sim s)",
+            ).observe(now - requested_at)
         if on_result is not None:
             on_result(collection)

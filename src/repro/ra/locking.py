@@ -49,11 +49,44 @@ class LockingPolicy:
     def __init__(self) -> None:
         self.device: Optional[Device] = None
         self.order: Sequence[int] = ()
+        self._hold_start: Optional[float] = None
 
     def reset(self, device: Device, order: Sequence[int]) -> None:
         """Bind to a device and traversal order at measurement start."""
         self.device = device
         self.order = list(order)
+        self._hold_start = None
+
+    # -- observability ---------------------------------------------------
+
+    def _mark_hold_start(self) -> None:
+        """Stamp the moment this policy first takes a lock."""
+        if self.device is not None and self._hold_start is None:
+            self._hold_start = self.device.sim.now
+
+    def _record_hold_end(self, blocks: int) -> None:
+        """Record the completed lock-hold window as a span.
+
+        Retrospective (``add_span``) because the release may fire in a
+        different callback than the acquisition -- the extended
+        policies release from a t_r timer.
+        """
+        device = self.device
+        if device is None or self._hold_start is None:
+            return
+        obs = device.obs
+        if obs.enabled:
+            now = device.sim.now
+            obs.spans.add_span(
+                "ra.lock_hold", self._hold_start, now,
+                category="ra.locking", policy=self.name, blocks=blocks,
+            )
+            obs.metrics.histogram(
+                "ra.lock_hold.duration",
+                "time attested memory stayed locked (sim s)",
+                policy=self.name,
+            ).observe(now - self._hold_start)
+        self._hold_start = None
 
     # -- hooks (all return MPU op counts) -------------------------------
 
@@ -113,18 +146,21 @@ class AllLock(LockingPolicy):
 
     def on_start(self) -> int:
         self.device.mpu.lock_all()
+        self._mark_hold_start()
         return self.device.block_count
 
     def on_end(self) -> int:
         if self.extended:
             return 0
         self.device.mpu.unlock_all()
+        self._record_hold_end(self.device.block_count)
         return self.device.block_count
 
     def on_release(self) -> int:
         if not self.extended:
             return 0
         self.device.mpu.unlock_all()
+        self._record_hold_end(self.device.block_count)
         return self.device.block_count
 
 
@@ -138,13 +174,24 @@ class DecLock(LockingPolicy):
 
     name = "dec-lock"
     consistency = "instant t_s"
+    _released = 0
+
+    def reset(self, device: Device, order: Sequence[int]) -> None:
+        super().reset(device, order)
+        self._released = 0
 
     def on_start(self) -> int:
         self.device.mpu.lock_all()
+        self._mark_hold_start()
         return self.device.block_count
 
     def after_block(self, block_index: int) -> int:
         self.device.mpu.unlock(block_index)
+        self._released += 1
+        if self._released == len(self.order):
+            # The last measured block just unlocked; blocks outside a
+            # region-restricted traversal stay locked until abort().
+            self._record_hold_end(self.device.block_count)
         return 1
 
 
@@ -171,18 +218,21 @@ class IncLock(LockingPolicy):
 
     def before_block(self, block_index: int) -> int:
         self.device.mpu.lock(block_index)
+        self._mark_hold_start()
         return 1
 
     def on_end(self) -> int:
         if self.extended:
             return 0
         self.device.mpu.unlock_all()
+        self._record_hold_end(len(self.order))
         return self.device.block_count
 
     def on_release(self) -> int:
         if not self.extended:
             return 0
         self.device.mpu.unlock_all()
+        self._record_hold_end(len(self.order))
         return self.device.block_count
 
 

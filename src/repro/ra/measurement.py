@@ -172,6 +172,26 @@ class MeasurementProcess:
             nonce=self.nonce.hex()[:8], counter=self.counter,
         )
 
+        obs = device.obs
+        spans = obs.spans if obs.enabled else None
+        if spans is not None:
+            measurement_span = spans.begin_span(
+                "ra.measurement", category="ra.measurement",
+                mechanism=self.mechanism, order=config.order,
+                atomic=config.atomic, blocks=len(order),
+            )
+            m_blocks = obs.metrics.counter(
+                "ra.blocks.measured", "attested blocks traversed",
+                mechanism=self.mechanism,
+            )
+            m_bytes = obs.metrics.counter(
+                "ra.bytes.measured", "simulated bytes hashed",
+                mechanism=self.mechanism,
+            )
+        else:
+            measurement_span = None
+            m_blocks = m_bytes = None
+
         if config.atomic:
             yield Atomic(True)
 
@@ -211,6 +231,16 @@ class MeasurementProcess:
             return content
 
         for position, block_index in enumerate(order):
+            if spans is not None:
+                # Mirror the Section 3.2 adversary model in the trace:
+                # when the order is a secret permutation the span says
+                # how far along MP is, never which block it touched.
+                block_args = {"position": position + 1}
+                if config.order != "shuffled":
+                    block_args["block"] = block_index
+                block_span = spans.begin_span(
+                    "ra.block", category="ra.measurement", **block_args
+                )
             pre_ops = self.policy.before_block(block_index)
             if pre_ops:
                 yield Compute(self._lock_cost(pre_ops))
@@ -222,6 +252,10 @@ class MeasurementProcess:
             post_ops = self.policy.after_block(block_index)
             if post_ops:
                 yield Compute(self._lock_cost(post_ops))
+            if spans is not None:
+                spans.end_span(block_span)
+                m_blocks.inc()
+                m_bytes.inc(device.memory.sim_block_size)
             if config.notify_malware:
                 device.notify_block_measured(
                     position + 1, len(order), interruptible,
@@ -279,6 +313,17 @@ class MeasurementProcess:
             duration=round(t_end - t_start, 6),
             interruptions=self.record.interruptions,
         )
+        if spans is not None:
+            spans.end_span(
+                measurement_span,
+                interruptions=self.record.interruptions,
+                digest=digest.hex()[:8],
+            )
+            obs.metrics.histogram(
+                "ra.measurement.duration",
+                "wall-to-wall measurement window t_e - t_s (sim s)",
+                mechanism=self.mechanism,
+            ).observe(t_end - t_start)
         return self.record
 
     def _do_release(self) -> None:

@@ -137,6 +137,14 @@ class AttestationService:
                 device.sim.now, "ra.request", device.name,
                 src=message.src, rounds=rounds,
             )
+            obs = device.obs
+            round_span = None
+            if obs.enabled:
+                round_span = obs.spans.begin_span(
+                    "ra.round", category="ra.service",
+                    mechanism=self.mechanism, src=message.src,
+                    rounds=rounds,
+                )
             records = []
             for round_index in range(rounds):
                 if round_index > 0 and self.inter_round_gap > 0:
@@ -176,6 +184,13 @@ class AttestationService:
                 device.sim.now, "ra.reply", device.name,
                 records=len(records), signed=self.signer is not None,
             )
+            if round_span is not None:
+                obs.spans.end_span(round_span, records=len(records))
+                obs.metrics.counter(
+                    "ra.requests.handled",
+                    "attestation requests fully served",
+                    mechanism=self.mechanism,
+                ).inc()
 
 
 @dataclass
@@ -260,6 +275,18 @@ class OnDemandVerifier:
             exchange.report, expected_nonce=exchange.nonce
         )
         del self._outstanding[exchange.nonce]
+        obs = self.channel.sim.obs
+        if obs.enabled:
+            now = self.channel.sim.now
+            obs.spans.add_span(
+                "ra.round_trip", exchange.requested_at, now,
+                category="ra.verifier", device=exchange.device,
+                verdict=exchange.result.verdict.value,
+            )
+            obs.metrics.histogram(
+                "ra.round_trip.latency",
+                "challenge to verdict latency (sim s)",
+            ).observe(now - exchange.requested_at)
         callback = getattr(exchange, "_on_result", None)
         if callback is not None:
             callback(exchange)

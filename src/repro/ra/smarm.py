@@ -85,17 +85,29 @@ def escape_probability(
     trials: int = 2000,
     seed: bytes = b"smarm-mc",
     moves_per_block: int = 1,
+    metrics=None,
 ) -> float:
     """Monte-Carlo estimate of the single-round escape probability.
 
     Converges to ``((n-1)/n)**n`` -> ``e^-1`` for the uniform strategy
     (checked against :mod:`repro.analysis.smarm_math` in the tests).
+    ``metrics`` optionally takes a
+    :class:`repro.obs.metrics.MetricsRegistry` that accumulates trial
+    and escape counts across experiment batches.
     """
     drbg = HmacDrbg(seed)
     escapes = sum(
         escape_trial(n_blocks, drbg, moves_per_block)
         for _ in range(trials)
     )
+    if metrics is not None:
+        game = f"uniform-{moves_per_block}"
+        metrics.counter(
+            "smarm.trials", "Monte-Carlo escape games played", game=game,
+        ).inc(trials)
+        metrics.counter(
+            "smarm.escapes", "games the malware survived", game=game,
+        ).inc(escapes)
     return escapes / trials
 
 
@@ -104,6 +116,7 @@ def multi_round_escape_probability(
     rounds: int,
     trials: int = 2000,
     seed: bytes = b"smarm-mc-rounds",
+    metrics=None,
 ) -> float:
     """Monte-Carlo estimate that malware escapes ``rounds`` independent
     measurements in a row."""
@@ -112,6 +125,14 @@ def multi_round_escape_probability(
     for _ in range(trials):
         if all(escape_trial(n_blocks, drbg) for _ in range(rounds)):
             survived += 1
+    if metrics is not None:
+        game = f"multi-{rounds}"
+        metrics.counter(
+            "smarm.trials", "Monte-Carlo escape games played", game=game,
+        ).inc(trials)
+        metrics.counter(
+            "smarm.escapes", "games the malware survived", game=game,
+        ).inc(survived)
     return survived / trials
 
 

@@ -223,6 +223,17 @@ class Verifier:
                     now, "vrf.verdict", self.name,
                     device=report.device, verdict=verdict.value,
                 )
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "ra.verdicts", "verification outcomes",
+                    verdict=verdict.value,
+                ).inc()
+                if freshness is not None:
+                    obs.metrics.histogram(
+                        "ra.report.freshness",
+                        "verdict time minus newest t_e (sim s)",
+                    ).observe(freshness)
             return result
 
         if not report.records:

@@ -175,6 +175,11 @@ class Device:
     # -- convenience ---------------------------------------------------------
 
     @property
+    def obs(self) -> Any:
+        """The simulator's observability bundle (``NULL_OBS`` when off)."""
+        return self.sim.obs
+
+    @property
     def block_count(self) -> int:
         return self.memory.block_count
 

@@ -20,6 +20,7 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SchedulingError
+from repro.obs.core import NULL_OBS
 
 
 class EventHandle:
@@ -67,14 +68,40 @@ class Simulator:
 
     The clock starts at 0.0 and only moves forward.  ``run`` drains the
     queue or stops at ``until``; ``step`` executes exactly one event.
+
+    ``obs`` attaches an :class:`repro.obs.core.Observability` bundle;
+    the default is the shared null bundle, and the hot loop skips
+    instrumentation entirely in that case (cached-handle ``None``
+    checks only).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Any] = None) -> None:
         self.now: float = 0.0
         self._queue: List[EventHandle] = []
         self._seq: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        self.obs = obs if obs is not None else NULL_OBS
+        self.obs.bind_clock(lambda: self.now)
+        # Cache instrument handles once so the scheduling/firing hot
+        # paths pay a single `is None` test when observability is off.
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            self._m_scheduled = metrics.counter(
+                "sim.events.scheduled", "events pushed onto the queue"
+            )
+            self._m_fired = metrics.counter(
+                "sim.events.fired", "events popped and executed"
+            )
+            self._m_cancelled = metrics.counter(
+                "sim.events.cancelled", "events cancelled before firing"
+            )
+        else:
+            self._m_scheduled = None
+            self._m_fired = None
+            self._m_cancelled = None
+        profiler = self.obs.profiler
+        self._profiler = profiler if profiler.enabled else None
 
     # -- scheduling ---------------------------------------------------
 
@@ -97,6 +124,8 @@ class Simulator:
         handle = EventHandle(time, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._queue, handle)
+        if self._m_scheduled is not None:
+            self._m_scheduled.inc()
         return handle
 
     # -- execution ----------------------------------------------------
@@ -106,11 +135,32 @@ class Simulator:
         while self._queue:
             handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                if self._m_cancelled is not None:
+                    self._m_cancelled.inc()
                 continue
-            self.now = handle.time
-            handle.callback(*handle.args)
+            if self._profiler is not None:
+                self._fire_profiled(handle)
+            else:
+                self.now = handle.time
+                handle.callback(*handle.args)
+            if self._m_fired is not None:
+                self._m_fired.inc()
             return True
         return False
+
+    def _fire_profiled(self, handle: EventHandle) -> None:
+        """Fire one event under the profiler (cold path)."""
+        profiler = self._profiler
+        advanced = handle.time - self.now
+        self.now = handle.time
+        wall = profiler.wall_clock
+        if wall is not None:
+            began = wall()
+            handle.callback(*handle.args)
+            profiler.record(handle.callback, advanced, wall() - began)
+        else:
+            handle.callback(*handle.args)
+            profiler.record(handle.callback, advanced)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run events until the queue drains or the clock passes ``until``.
@@ -129,13 +179,20 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    if self._m_cancelled is not None:
+                        self._m_cancelled.inc()
                     continue
                 if until is not None and head.time > until:
                     self.now = until
                     return self.now
                 heapq.heappop(self._queue)
-                self.now = head.time
-                head.callback(*head.args)
+                if self._profiler is not None:
+                    self._fire_profiled(head)
+                else:
+                    self.now = head.time
+                    head.callback(*head.args)
+                if self._m_fired is not None:
+                    self._m_fired.inc()
             if until is not None and self.now < until:
                 self.now = until
         finally:

@@ -58,6 +58,18 @@ class Endpoint:
         """Called by the channel when a message arrives here."""
         self.inbox.append(message)
         self.received_count += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            # The flight interval only becomes known on arrival, so it
+            # is recorded retrospectively from the send stamp.
+            obs.spans.add_span(
+                "net.delivery", message.sent_at, self.sim.now,
+                category="net", src=message.src, dst=message.dst,
+                kind=message.kind,
+            )
+            obs.metrics.counter(
+                "net.messages.delivered", "messages handed to an endpoint"
+            ).inc()
         self.rx_signal.fire(message)
 
     def receive(self) -> Optional[Message]:
@@ -125,6 +137,11 @@ class Channel:
             next(self._ids), src, dst, kind, payload, self.sim.now
         )
         self.log.append(message)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "net.messages.sent", "messages entering the channel"
+            ).inc()
         deliveries = [(self._base_latency(message), message)]
         for filter_fn in self.filters:
             next_deliveries = []
@@ -132,6 +149,11 @@ class Channel:
                 verdict = filter_fn(msg)
                 if verdict is None:
                     self.dropped.append(msg)
+                    if obs.enabled:
+                        obs.metrics.counter(
+                            "net.messages.dropped",
+                            "messages eaten by an in-path filter",
+                        ).inc()
                     if self.trace is not None:
                         self.trace.record(
                             self.sim.now, "net.drop", msg.src, msg_kind=msg.kind

@@ -142,7 +142,11 @@ class Trace:
 
     def to_jsonl(self, path: Any) -> int:
         """Write every retained record to ``path`` as one JSON object
-        per line; returns the number of records written."""
+        per line, closed by a ``trace.meta`` line carrying the counts
+        -- in ring-buffer mode the *oldest* records are silently
+        discarded, so without the meta line a reader cannot tell a
+        complete export from a truncated one.  Returns the number of
+        data records written (the meta line is not counted)."""
         count = 0
         with open(path, "w", encoding="utf-8") as handle:
             for rec in self.records:
@@ -152,4 +156,14 @@ class Trace:
                 )
                 handle.write("\n")
                 count += 1
+            meta = {
+                "kind": "trace.meta",
+                "records": count,
+                "dropped": self.dropped,
+                "max_records": self.max_records,
+            }
+            handle.write(
+                json.dumps(meta, sort_keys=True, separators=(",", ":"))
+            )
+            handle.write("\n")
         return count

@@ -1,0 +1,88 @@
+"""Observability rules.
+
+The span tracker (:mod:`repro.obs.spans`) keeps a nesting stack:
+``begin_span`` pushes, ``end_span`` pops.  A function body that begins
+more spans than it ends leaks open spans -- every later span in the
+same simulation nests under the leaked parent, and the Chrome trace
+exporter has to clamp the leak to the end of the run with a
+``truncated`` marker.  The converse (more ends than begins) closes a
+span some *other* call site still considers open.  Spans whose
+endpoints legitimately live in different callbacks (a network delivery,
+a deferred lock release) must use the retrospective
+``add_span(name, t_start, t_end)`` form instead, which never touches
+the stack -- so inside any single function body the begin/end calls
+are expected to balance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.staticlint.engine import ModuleContext, walk_scope
+from repro.staticlint.findings import Severity
+from repro.staticlint.registry import get_rule, rule
+
+_BEGIN = "begin_span"
+_END = "end_span"
+
+
+def _span_calls(func: ast.AST, attr: str) -> List[ast.Call]:
+    """``.begin_span(...)``/``.end_span(...)`` calls in one body."""
+    calls = []
+    for node in walk_scope(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == attr
+        ):
+            calls.append(node)
+    calls.sort(key=lambda call: (call.lineno, call.col_offset))
+    return calls
+
+
+@rule(
+    id="obs-span-leak",
+    family="observability",
+    severity=Severity.WARNING,
+    summary="begin_span/end_span imbalance within one function body",
+    rationale=(
+        "begin_span() pushes onto the tracker's nesting stack and "
+        "end_span() pops; a body that begins more spans than it ends "
+        "leaks an open span that every later span erroneously nests "
+        "under (the exporter clamps it with a 'truncated' marker), "
+        "while surplus end_span() calls close a span another call "
+        "site still holds.  Cross-callback intervals belong to the "
+        "retrospective add_span() form, which never touches the stack."
+    ),
+    hint=(
+        "end every span begun in the same function body, or switch to "
+        "add_span(name, t_start, t_end) for intervals whose endpoints "
+        "live in different callbacks"
+    ),
+)
+def check_span_leak(ctx: ModuleContext) -> Iterable:
+    this = get_rule("obs-span-leak")
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        begins = _span_calls(func, _BEGIN)
+        ends = _span_calls(func, _END)
+        if len(begins) == len(ends):
+            continue
+        if len(begins) > len(ends):
+            # anchor on the begin calls past the last matched one
+            for call in begins[len(ends):]:
+                yield this.finding(
+                    ctx, call,
+                    f"{func.name}() begins {len(begins)} span(s) but "
+                    f"ends only {len(ends)} -- this span leaks open",
+                )
+        else:
+            for call in ends[len(begins):]:
+                yield this.finding(
+                    ctx, call,
+                    f"{func.name}() ends {len(ends)} span(s) but "
+                    f"begins only {len(begins)} -- this pop closes a "
+                    f"span owned elsewhere",
+                )

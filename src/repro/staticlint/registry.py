@@ -50,7 +50,7 @@ class Rule:
     """One registered lint rule."""
 
     id: str
-    family: str  # "determinism" | "crypto" | "atomicity"
+    family: str  # "determinism" | "crypto" | "atomicity" | "observability"
     severity: Severity
     summary: str
     rationale: str
@@ -145,4 +145,9 @@ def override_severity(rule_id: str, severity: Severity) -> None:
 
 def _load_rule_modules() -> None:
     """Import the rule modules so their decorators run (idempotent)."""
-    from repro.staticlint import atomicity, crypto_rules, determinism  # noqa: F401
+    from repro.staticlint import (  # noqa: F401
+        atomicity,
+        crypto_rules,
+        determinism,
+        obs_rules,
+    )

@@ -1,0 +1,123 @@
+"""Chrome trace-event exporter: structure, clamping, golden file."""
+
+import json
+from pathlib import Path
+
+from repro.obs.chrome import chrome_trace_events, write_chrome_trace
+from repro.obs.spans import SpanTracker
+from repro.sim.trace import Trace
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def capture():
+    """A small deterministic capture: round > measurement > 2 blocks,
+    plus a retrospective network delivery and flat trace markers."""
+    clock = FakeClock()
+    spans = SpanTracker(clock=clock)
+    trace = Trace()
+
+    trace.record(0.0, "ra.request", "verifier")
+    round_ = spans.begin_span("ra.round", category="ra.service",
+                              mechanism="smarm")
+    clock.now = 0.001
+    mp = spans.begin_span("ra.measurement", category="ra.measurement",
+                          blocks=2, order="shuffled")
+    block = spans.begin_span("ra.block", category="ra.measurement",
+                             position=1)
+    clock.now = 0.101
+    spans.end_span(block)
+    block = spans.begin_span("ra.block", category="ra.measurement",
+                             position=2)
+    clock.now = 0.201
+    spans.end_span(block)
+    spans.end_span(mp, digest="deadbeef")
+    clock.now = 0.25
+    spans.end_span(round_, records=1)
+    spans.add_span("net.delivery", 0.25, 0.3, category="net",
+                   src="dev", dst="verifier", kind="ra.reply")
+    trace.record(0.3, "ra.reply", "dev")
+    return spans, trace
+
+
+class TestEventStructure:
+    def test_spans_become_complete_events_in_microseconds(self):
+        spans, _ = capture()
+        events = chrome_trace_events(spans)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == len(spans)
+        mp = next(e for e in xs if e["name"] == "ra.measurement")
+        assert mp["ts"] == 1000.0  # 0.001 s -> 1000 us
+        assert mp["dur"] == 200000.0
+        assert mp["cat"] == "ra.measurement"
+        assert mp["args"]["parent_id"] == 1
+
+    def test_tracks_grouped_by_category_root_with_names(self):
+        spans, trace = capture()
+        events = chrome_trace_events(spans, trace)
+        meta = {
+            e["args"]["name"]: e["tid"]
+            for e in events if e["ph"] == "M"
+        }
+        # "ra" sorts before "net" by the fixed track order
+        assert meta["ra"] < meta["net"] < meta["trace"]
+        delivery = next(
+            e for e in events
+            if e["ph"] == "X" and e["name"] == "net.delivery"
+        )
+        assert delivery["tid"] == meta["net"]
+
+    def test_trace_records_become_instants(self):
+        spans, trace = capture()
+        events = chrome_trace_events(spans, trace)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["ra.request", "ra.reply"]
+        assert instants[0]["args"]["source"] == "verifier"
+
+    def test_open_span_clamped_and_marked(self):
+        clock = FakeClock()
+        spans = SpanTracker(clock=clock)
+        spans.begin_span("leaked", category="ra")
+        clock.now = 2.0
+        done = spans.begin_span("done", category="ra")
+        spans.end_span(done)
+        events = chrome_trace_events(spans)
+        leaked = next(e for e in events if e["name"] == "leaked")
+        assert leaked["args"]["truncated"] is True
+        assert leaked["dur"] == 2.0e6  # clamped to the latest timestamp
+
+    def test_explicit_clamp_end_wins(self):
+        spans = SpanTracker()
+        spans.begin_span("open")
+        events = chrome_trace_events(spans, clamp_end=5.0)
+        assert events[-1]["dur"] == 5.0e6
+
+
+class TestGoldenFile:
+    def test_full_capture_matches_golden(self, tmp_path):
+        spans, trace = capture()
+        out = tmp_path / "trace.json"
+        count = write_chrome_trace(out, spans, trace)
+        written = out.read_text(encoding="utf-8")
+        golden = (GOLDEN / "chrome_trace.json").read_text(encoding="utf-8")
+        assert written == golden
+        payload = json.loads(written)
+        assert len(payload["traceEvents"]) == count
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_output_is_valid_json_with_sorted_keys(self, tmp_path):
+        spans, trace = capture()
+        out = tmp_path / "trace.json"
+        write_chrome_trace(out, spans, trace)
+        payload = json.loads(out.read_text())
+        assert set(payload) == {
+            "traceEvents", "displayTimeUnit", "otherData",
+        }

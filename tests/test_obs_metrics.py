@@ -1,0 +1,183 @@
+"""Metrics registry, snapshots and the exporters (incl. golden files)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    prom_name,
+    to_prometheus_text,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("sim.events", "help")
+        b = reg.counter("sim.events")
+        assert a is b
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ra.blocks", mechanism="smart")
+        b = reg.counter("ra.blocks", mechanism="smarm")
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0.0
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("c").inc(-1.0)
+
+    def test_updates_stamp_the_bound_clock(self):
+        clock = FakeClock()
+        reg = MetricsRegistry(clock=clock)
+        counter = reg.counter("c")
+        clock.now = 4.25
+        counter.inc()
+        assert counter.updated_at == 4.25
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3.0)
+        gauge.add(-1.0)
+        assert gauge.value == 2.0
+
+    def test_instruments_order_deterministic(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a", mechanism="z")
+        reg.counter("a", mechanism="m")
+        names = [f"{i.name}{sorted(i.labels.items())}"
+                 for i in reg.instruments()]
+        assert names == sorted(names)
+        assert len(reg) == 3
+
+
+class TestHistogram:
+    def test_bucketing_and_stats(self):
+        hist = MetricsRegistry().histogram(
+            "lat", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+        assert hist.min == 0.05 and hist.max == 50.0
+        assert hist.mean == pytest.approx(56.05 / 5)
+        # raw per-bucket counts: <=0.1, <=1.0, <=10.0, +Inf
+        assert hist.bucket_counts == [1, 2, 1, 1]
+        # sample() exposes cumulative counts, Prometheus-style
+        assert hist.sample()["buckets"] == {
+            "0.1": 1, "1.0": 3, "10.0": 4, "+Inf": 5,
+        }
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestSnapshots:
+    def build(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.events.fired", "events executed").inc(10)
+        reg.gauge("queue.depth").set(3)
+        hist = reg.histogram("ra.mp.duration", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        return reg
+
+    def test_snapshot_flat_flattens_histograms(self):
+        flat = self.build().snapshot_flat()
+        assert flat == {
+            "sim.events.fired": 10.0,
+            "queue.depth": 3.0,
+            "ra.mp.duration.count": 2.0,
+            "ra.mp.duration.sum": 2.5,
+        }
+
+    def test_snapshot_includes_kind_and_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("ra.blocks", mechanism="smarm").inc()
+        snap = reg.snapshot()
+        entry = snap["ra.blocks{mechanism=smarm}"]
+        assert entry["kind"] == "counter"
+        assert entry["labels"] == {"mechanism": "smarm"}
+        assert entry["value"] == 1.0
+
+    def test_to_jsonl_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        assert self.build().to_jsonl(path) == 3
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert [r["metric"] for r in rows] == sorted(
+            r["metric"] for r in rows
+        )
+        by_name = {r["metric"]: r for r in rows}
+        assert by_name["sim.events.fired"]["value"] == 10.0
+        assert by_name["ra.mp.duration"]["count"] == 2
+
+
+class TestPrometheusExport:
+    def test_prom_name_sanitizes(self):
+        assert prom_name("sim.events.fired") == "sim_events_fired"
+        assert prom_name("9lives") == "_9lives"
+
+    def test_golden_text(self):
+        """Byte-exact exposition for a representative registry."""
+        reg = MetricsRegistry()
+        reg.counter(
+            "sim.events.fired", "events popped and executed"
+        ).inc(42)
+        reg.counter("ra.blocks.measured", mechanism="smarm").inc(64)
+        reg.counter("ra.blocks.measured", mechanism="smart").inc(16)
+        reg.gauge("app.queue.depth").set(2.5)
+        hist = reg.histogram(
+            "ra.lock_hold.duration", "seconds the MPU lock is held",
+            buckets=(0.01, 0.1, 1.0), policy="all-lock",
+        )
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(4.0)
+        text = to_prometheus_text(reg)
+        golden = (GOLDEN / "metrics.prom").read_text(encoding="utf-8")
+        assert text == golden
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestNullRegistry:
+    def test_all_calls_are_noops(self, tmp_path):
+        assert not NULL_REGISTRY.enabled
+        counter = NULL_REGISTRY.counter("c", "help", k="v")
+        counter.inc(5)
+        NULL_REGISTRY.gauge("g").set(1.0)
+        NULL_REGISTRY.histogram("h").observe(2.0)
+        assert counter.value == 0.0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.snapshot_flat() == {}
+        assert NULL_REGISTRY.instruments() == []
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.to_jsonl(tmp_path / "x.jsonl") == 0

@@ -1,0 +1,129 @@
+"""Event-loop profiler: site attribution, determinism, rendering."""
+
+import functools
+
+import pytest
+
+from repro.obs.core import Observability
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    EventLoopProfiler,
+    callback_site,
+)
+from repro.sim.engine import Simulator
+
+
+def tick():
+    pass
+
+
+class Widget:
+    def poke(self):
+        pass
+
+
+class TestCallbackSite:
+    def test_plain_function(self):
+        assert callback_site(tick) == f"{__name__}.tick"
+
+    def test_bound_method_attributes_to_class(self):
+        assert callback_site(Widget().poke) == f"{__name__}.Widget.poke"
+
+    def test_partial_unwraps_to_wrapped_function(self):
+        wrapped = functools.partial(tick)
+        assert callback_site(wrapped) == f"{__name__}.tick"
+
+    def test_unknown_callable_falls_back_to_type_name(self):
+        class Odd:
+            def __call__(self):
+                pass
+
+        site = callback_site(Odd())
+        assert "Odd" in site
+
+
+class TestRecording:
+    def test_accumulates_per_site(self):
+        profiler = EventLoopProfiler()
+        profiler.record(tick, 1.0)
+        profiler.record(tick, 2.0)
+        profiler.record(Widget().poke, 0.5)
+        assert profiler.total_events == 3
+        assert profiler.total_sim_time == 3.5
+        stats = profiler.sites[f"{__name__}.tick"]
+        assert stats.events == 2 and stats.sim_time == 3.0
+
+    def test_hotspot_ordering_and_tie_break(self):
+        profiler = EventLoopProfiler()
+        profiler.record(Widget().poke, 5.0)
+        profiler.record(tick, 1.0)
+        profiler.record(tick, 1.0)
+        by_events = [s.site for s in profiler.hotspots(by="events")]
+        assert by_events[0].endswith("tick")
+        by_sim = [s.site for s in profiler.hotspots(by="sim_time")]
+        assert by_sim[0].endswith("Widget.poke")
+        with pytest.raises(ValueError):
+            profiler.hotspots(by="nonsense")
+
+    def test_render_includes_totals_and_shares(self):
+        profiler = EventLoopProfiler()
+        profiler.record(tick, 3.0)
+        text = profiler.render()
+        assert "TOTAL" in text and "tick" in text
+        assert "100.0%" in text
+        assert "wall_ms" not in text  # no wall clock injected
+
+    def test_render_wall_column_when_clock_injected(self):
+        profiler = EventLoopProfiler(wall_clock=lambda: 0.0)
+        profiler.record(tick, 1.0, wall_elapsed=0.002)
+        assert "wall_ms" in profiler.render()
+
+
+class TestSimulatorIntegration:
+    def drive(self):
+        profiler = EventLoopProfiler()
+        sim = Simulator(obs=Observability(profiler=profiler))
+        widget = Widget()
+        for delay in (1.0, 2.0, 4.0):
+            sim.schedule(delay, widget.poke)
+        sim.schedule(3.0, tick)
+        sim.run()
+        return profiler
+
+    def test_sim_time_attributed_to_sites(self):
+        profiler = self.drive()
+        assert profiler.total_events == 4
+        assert profiler.total_sim_time == pytest.approx(4.0)
+        poke = profiler.sites[f"{__name__}.Widget.poke"]
+        # advances: 0->1 (1.0), 1->2 (1.0), 3->4 (1.0)
+        assert poke.events == 3
+        assert poke.sim_time == pytest.approx(3.0)
+
+    def test_two_identical_runs_identical_profiles(self):
+        first = self.drive().to_dict()
+        second = self.drive().to_dict()
+        assert first == second
+        assert all(s["wall_time"] == 0.0 for s in first["sites"])
+
+    def test_wall_clock_bracketing_measured(self):
+        ticks = iter(range(100))
+        profiler = EventLoopProfiler(wall_clock=lambda: float(next(ticks)))
+        sim = Simulator(obs=Observability(profiler=profiler))
+        sim.schedule(1.0, tick)
+        sim.run()
+        stats = profiler.sites[f"{__name__}.tick"]
+        assert stats.wall_time == 1.0  # one fake tick per bracket
+
+
+class TestNullProfiler:
+    def test_noop_and_disabled(self):
+        assert not NULL_PROFILER.enabled
+        NULL_PROFILER.record(tick, 1.0)
+        assert NULL_PROFILER.total_events == 0
+        assert NULL_PROFILER.hotspots() == []
+        assert "disabled" in NULL_PROFILER.render()
+        assert NULL_PROFILER.to_dict()["sites"] == []
+
+    def test_default_simulator_skips_profiling(self):
+        sim = Simulator()
+        assert sim._profiler is None

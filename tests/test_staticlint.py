@@ -336,6 +336,107 @@ class TestAtomicGapRule:
         assert found == []
 
 
+SPAN_LEAK_BAD = """\
+def handle(self, request):
+    span = self.obs.spans.begin_span("ra.round", category="ra")
+    self.reply(request)
+"""
+
+SPAN_LEAK_SUPPRESSED = """\
+def handle(self, request):
+    span = self.obs.spans.begin_span("ra.round")  # repro: allow[obs-span-leak]
+    self.reply(request)
+"""
+
+SPAN_LEAK_GOOD = """\
+def handle(self, request):
+    spans = self.obs.spans
+    span = spans.begin_span("ra.round", category="ra")
+    self.reply(request)
+    spans.end_span(span, records=1)
+    spans.add_span("net.rtt", request.sent_at, self.sim.now)
+"""
+
+
+class TestObsSpanLeakRule:
+    RULE = "obs-span-leak"
+
+    def test_unended_begin_flagged(self):
+        found = live(
+            findings_for(
+                SPAN_LEAK_BAD, path="src/repro/ra/fake.py", rule=self.RULE
+            )
+        )
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "leaks open" in found[0].message
+        assert found[0].line == 2
+
+    def test_suppressed_inline(self):
+        found = findings_for(
+            SPAN_LEAK_SUPPRESSED, path="src/repro/ra/fake.py",
+            rule=self.RULE,
+        )
+        assert len(found) == 1 and found[0].suppressed
+
+    def test_balanced_body_not_flagged(self):
+        found = findings_for(
+            SPAN_LEAK_GOOD, path="src/repro/ra/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+    def test_add_span_alone_not_flagged(self):
+        src = (
+            "def deliver(self, message):\n"
+            "    self.obs.spans.add_span(\n"
+            "        'net.delivery', message.sent_at, self.sim.now\n"
+            "    )\n"
+        )
+        found = findings_for(
+            src, path="src/repro/sim/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+    def test_surplus_end_flagged(self):
+        src = (
+            "def finish(self):\n"
+            "    self.obs.spans.end_span(self._round_span)\n"
+        )
+        found = live(
+            findings_for(src, path="src/repro/ra/fake.py", rule=self.RULE)
+        )
+        assert len(found) == 1
+        assert "owned elsewhere" in found[0].message
+
+    def test_nested_def_not_attributed_to_outer(self):
+        # the closure runs in a later callback; its begin_span must not
+        # be charged to the enclosing function's body
+        src = (
+            "def arm(self):\n"
+            "    def fire():\n"
+            "        span = self.obs.spans.begin_span('x')\n"
+            "        self.obs.spans.end_span(span)\n"
+            "    self.sim.schedule(1.0, fire)\n"
+        )
+        found = findings_for(
+            src, path="src/repro/ra/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+    def test_loop_balanced_begin_end_not_flagged(self):
+        src = (
+            "def run(self):\n"
+            "    for block in self.order:\n"
+            "        span = self.obs.spans.begin_span('ra.block')\n"
+            "        self.measure(block)\n"
+            "        self.obs.spans.end_span(span)\n"
+        )
+        found = findings_for(
+            src, path="src/repro/ra/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+
 class TestSuppressionSemantics:
     def test_standalone_comment_covers_next_line(self):
         allowed = suppressed_lines(
@@ -592,9 +693,11 @@ class TestCliIntegration:
 
 
 class TestRegistry:
-    def test_catalogue_covers_three_families(self):
+    def test_catalogue_covers_four_families(self):
         families = {rule.family for rule in all_rules()}
-        assert families == {"determinism", "crypto", "atomicity"}
+        assert families == {
+            "determinism", "crypto", "atomicity", "observability",
+        }
 
     def test_every_rule_has_rationale_and_hint(self):
         for rule in all_rules():

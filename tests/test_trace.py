@@ -104,13 +104,31 @@ class TestJsonlExport:
         path = tmp_path / "trace.jsonl"
         assert trace.to_jsonl(path) == 5
         lines = path.read_text().splitlines()
-        assert len(lines) == 5
+        assert len(lines) == 6  # 5 data records + trailing meta
         rows = [json.loads(line) for line in lines]
         assert rows[0] == {
             "time": 1.0, "kind": "mp.start", "source": "smart", "data": {},
         }
-        assert rows[-1]["data"]["payload"] == "0102"  # bytes -> hex
-        assert rows[-1]["data"]["size"] == 2
+        assert rows[-2]["data"]["payload"] == "0102"  # bytes -> hex
+        assert rows[-2]["data"]["size"] == 2
+        assert rows[-1] == {
+            "kind": "trace.meta", "records": 5, "dropped": 0,
+            "max_records": None,
+        }
+
+    def test_meta_line_reports_ring_buffer_drops(self, tmp_path):
+        import json
+
+        trace = Trace(max_records=3)
+        for index in range(7):
+            trace.record(float(index), "tick", "src")
+        path = tmp_path / "trace.jsonl"
+        assert trace.to_jsonl(path) == 3
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[-1] == {
+            "kind": "trace.meta", "records": 3, "dropped": 4,
+            "max_records": 3,
+        }
 
     def test_non_json_values_coerced(self, tmp_path):
         import json
@@ -123,6 +141,6 @@ class TestJsonlExport:
         trace.record(1.0, "odd", "src", obj=Opaque(), tup=(1, b"\xFF"))
         path = tmp_path / "trace.jsonl"
         trace.to_jsonl(path)
-        row = json.loads(path.read_text())
+        row = json.loads(path.read_text().splitlines()[0])
         assert row["data"]["obj"] == "<opaque>"
         assert row["data"]["tup"] == [1, "ff"]
