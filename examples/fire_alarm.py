@@ -32,7 +32,7 @@ def run_scenario(mechanism: str) -> tuple:
     channel = Channel(sim, latency=0.005)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     driver = OnDemandVerifier(verifier, channel)
 
     app = FireAlarmApp(

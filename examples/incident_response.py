@@ -40,7 +40,7 @@ def main() -> None:
     device.attach_network(channel)
 
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     SmartAttestation(device).install()
     UpdateService(device).install()
 

@@ -1,46 +1,40 @@
 #!/usr/bin/env python3
 """Quickstart: one on-demand attestation, start to finish.
 
-Builds the smallest complete rig -- a simulated prover device, a
-network channel, a verifier -- runs one SMART-style (atomic)
-attestation while the device is clean, infects the device, runs a
-second one, and prints both verdicts with their timelines.
+``Scenario.build`` wires the smallest complete rig -- a simulated
+prover device, a network channel, an enrolled verifier -- then we run
+one SMART-style (atomic) attestation while the device is clean,
+infect the device, run a second one, and print both verdicts with
+their timelines.
 
 Run:  python examples/quickstart.py
 """
 
+from repro import Scenario
+from repro.core.tradeoff import ScenarioConfig
 from repro.malware import TransientMalware
-from repro.ra import SmartAttestation, Verifier
-from repro.ra.service import OnDemandVerifier
-from repro.sim import Channel, Device, Simulator
 from repro.units import MiB
 
 
 def main() -> None:
     # --- build the world -------------------------------------------------
-    sim = Simulator()
-
     # A prover with 64 blocks of attested memory.  Each real block
     # stands in for 1 MiB of simulated memory, so measurement latency
-    # is realistic (64 MiB at ODROID-XU4 hashing speed).
-    device = Device(
-        sim,
-        name="sensor-node",
-        block_count=64,
-        block_size=32,
-        sim_block_size=MiB,
+    # is realistic (64 MiB at ODROID-XU4 hashing speed).  The factory
+    # wires simulator, device (+standard layout), channel, and verifier
+    # enrollment in the canonical order, then installs SMART: atomic,
+    # sequential, uninterruptible measurement.
+    scenario = Scenario.build(
+        mechanism="smart",
+        config=ScenarioConfig(
+            block_count=64,
+            block_size=32,
+            sim_block_size=MiB,
+            algorithm="blake2s",
+        ),
+        latency=0.005,  # 5 ms network
     )
-    device.standard_layout()  # immutable code + mutable data regions
-
-    channel = Channel(sim, latency=0.005)  # 5 ms network
-    device.attach_network(channel)
-
-    verifier = Verifier(sim)
-    verifier.register_from_device(device)  # Vrf learns the golden image
-    driver = OnDemandVerifier(verifier, channel)
-
-    # Install SMART: atomic, sequential, uninterruptible measurement.
-    SmartAttestation(device, algorithm="blake2s").install()
+    sim, device, driver = scenario.sim, scenario.device, scenario.driver
 
     # --- attestation #1: clean device -------------------------------------
     first = driver.request(device.name)

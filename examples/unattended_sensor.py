@@ -56,7 +56,7 @@ def main() -> None:
     device.attach_network(channel)
 
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
 
     # --- ERASMUS: measure every T_M, collect every T_C ------------------
     erasmus = ErasmusService(

@@ -26,20 +26,19 @@ The package builds the whole stack the paper assumes:
 
 Quickstart::
 
-    from repro.sim import Simulator, Device, Channel
-    from repro.ra import SmartAttestation, Verifier
-    from repro.ra.service import OnDemandVerifier
+    from repro import Scenario
 
-    sim = Simulator()
-    device = Device(sim, block_count=64, block_size=32)
-    channel = Channel(sim)
-    device.attach_network(channel)
-    verifier = Verifier(sim)
-    verifier.register_from_device(device)
-    SmartAttestation(device).install()
-    exchange = OnDemandVerifier(verifier, channel).request(device.name)
-    sim.run(until=60)
+    scenario = Scenario.build(mechanism="smart")
+    exchange = scenario.driver.request(scenario.device.name)
+    scenario.run(until=60)
     print(exchange.result)          # healthy
+
+:meth:`Scenario.build` wires the whole stack (simulator, device,
+channel, :meth:`Verifier.enroll`, workload, malware, mechanism, and
+optionally a :class:`~repro.resilience.faults.FaultPlan` with its
+:class:`~repro.resilience.retry.RetryPolicy`) in the one canonical
+order; hand-wiring the same pieces remains possible for single-layer
+experiments.
 """
 
 __version__ = "1.0.0"
@@ -64,6 +63,8 @@ from repro.malware import (
 from repro.apps import FireAlarmApp
 from repro.core import evaluate_all, QoAParameters
 from repro.crypto import OdroidXU4Model
+from repro.resilience import FaultPlan, OutcomeReport, RetryPolicy
+from repro.scenario import Scenario
 
 __all__ = [
     "__version__",
@@ -86,4 +87,8 @@ __all__ = [
     "evaluate_all",
     "QoAParameters",
     "OdroidXU4Model",
+    "FaultPlan",
+    "OutcomeReport",
+    "RetryPolicy",
+    "Scenario",
 ]

@@ -29,6 +29,11 @@ class AvailabilityReport:
     lock_ops: int = 0
     cpu_idle_fraction: float = 0.0
     per_task: Dict[str, TaskStats] = field(default_factory=dict)
+    #: attestation-exchange outcome histogram (ok / retried-ok /
+    #: timed-out / reset-aborted), folded in by
+    #: :meth:`repro.resilience.outcome.OutcomeReport.fold_into`;
+    #: omitted from serialization when no resilience layer ran
+    exchange_outcomes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def miss_rate(self) -> float:
@@ -53,6 +58,10 @@ class AvailabilityReport:
         data["per_task"] = {
             name: asdict(stats) for name, stats in sorted(self.per_task.items())
         }
+        if not data["exchange_outcomes"]:
+            del data["exchange_outcomes"]
+        else:
+            data["exchange_outcomes"] = dict(self.exchange_outcomes)
         return data
 
     @classmethod

@@ -10,6 +10,7 @@ Each subcommand regenerates one paper artifact on stdout::
     repro table1          # the feature matrix, empirical vs claimed
     repro firealarm       # the Section 2.5 scenario
     repro smarm           # SMARM escape probabilities (Section 3.2)
+    repro faults          # RA under loss/resets (docs/resilience.md)
     repro all             # everything
 
 and the fleet campaign runner (docs/fleet.md)::
@@ -75,6 +76,22 @@ def _build_parser() -> argparse.ArgumentParser:
     smarm = sub.add_parser("smarm", help="SMARM escape probabilities")
     smarm.add_argument("--blocks", type=int, default=64)
     smarm.add_argument("--trials", type=int, default=4000)
+
+    faults = sub.add_parser(
+        "faults", help="on-demand RA under an adversarial channel"
+    )
+    faults.add_argument(
+        "--plan", default="loss=0.3@0:40;reset@6",
+        help="FaultPlan DSL (docs/resilience.md)",
+    )
+    faults.add_argument("--exchanges", type=int, default=20,
+                        help="attestation exchanges per mechanism")
+    faults.add_argument(
+        "--mechanisms", nargs="*",
+        default=["smart", "inc-lock", "smarm"],
+        help="on-demand mechanisms to drive",
+    )
+    faults.add_argument("--seed", type=int, default=7)
 
     swarm = sub.add_parser("swarm", help="collective attestation demo")
     swarm.add_argument("--count", type=int, default=15,
@@ -184,6 +201,8 @@ def _run(command: str, args: argparse.Namespace) -> str:
         return experiments.sec32_smarm(
             n_blocks=args.blocks, trials=args.trials
         ).render()
+    if command == "faults":
+        return _run_faults(args)
     if command == "swarm":
         return _run_swarm(args)
     if command == "swatt":
@@ -280,6 +299,53 @@ def _run_fleet(args: argparse.Namespace) -> str:
         "",
         summary.render(),
     ])
+    return "\n".join(lines)
+
+
+def _run_faults(args: argparse.Namespace) -> str:
+    """Drive on-demand mechanisms through a seeded FaultPlan and print
+    the degradation ledger (docs/resilience.md)."""
+    from repro.core.tradeoff import ScenarioConfig
+    from repro.ra.report import Verdict
+    from repro.resilience import RetryPolicy
+    from repro.scenario import Scenario
+    from repro.units import MiB
+
+    spacing = 2.0
+    horizon = 1.0 + spacing * args.exchanges + 10.0
+    lines = [
+        f"fault plan: {args.plan!r}  "
+        f"({args.exchanges} exchanges per mechanism, seed {args.seed})",
+    ]
+    for mechanism in args.mechanisms:
+        scenario = Scenario.build(
+            mechanism=mechanism,
+            faults=args.plan,
+            config=ScenarioConfig(
+                block_count=8, sim_block_size=MiB, horizon=horizon,
+            ),
+            seed=args.seed,
+            retry=RetryPolicy(
+                timeout=1.0, max_retries=6, backoff=1.5,
+                max_timeout=4.0,
+                seed=f"faults-cli-{args.seed}".encode(),
+            ),
+            fault_seed=f"faults-cli-{args.seed}-{mechanism}".encode(),
+        )
+        for index in range(args.exchanges):
+            scenario.schedule_request(1.0 + spacing * index)
+        scenario.run()
+        false_alarms = sum(
+            1 for r in scenario.verifier.results
+            if r.verdict is Verdict.COMPROMISED
+        )
+        lines.append("")
+        lines.append(scenario.outcomes.render(title=f"{mechanism}:"))
+        if false_alarms:
+            lines.append(
+                f"  WARNING: {false_alarms} false 'compromised' "
+                "verdict(s) on a benign device"
+            )
     return "\n".join(lines)
 
 

@@ -28,23 +28,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.apps.firealarm import FireAlarmApp
 from repro.core.consistency import expected_consistency
 from repro.core.solution import Feature, solution_by_key
 from repro.errors import ConfigurationError
 from repro.malware.relocating import SelfRelocatingMalware
 from repro.malware.transient import TransientMalware
-from repro.ra.erasmus import CollectorVerifier, ErasmusService
+from repro.ra.erasmus import ErasmusService
 from repro.ra.locking import make_policy
 from repro.ra.measurement import MeasurementConfig
 from repro.ra.report import Verdict
-from repro.ra.service import AttestationService, OnDemandVerifier
+from repro.ra.service import AttestationService
 from repro.ra.smarm import SmarmAttestation
 from repro.ra.smart import SmartAttestation
-from repro.ra.verifier import Verifier
 from repro.sim.device import Device
-from repro.sim.engine import Simulator
-from repro.sim.network import Channel
 from repro.units import MiB
 
 ADVERSARIES = ("none", "relocating", "transient")
@@ -262,44 +258,28 @@ def run_scenario(
     seed: int = 7,
 ) -> ScenarioOutcome:
     """Run one cell of the evaluation matrix."""
+    # Lazy: repro.scenario imports this module for ScenarioConfig and
+    # standard_mechanisms, so the factory can only be pulled in at
+    # call time.
+    from repro.scenario import Scenario
+
     config = config or ScenarioConfig()
-    sim = Simulator()
-    device = Device(
-        sim,
-        block_count=config.block_count,
-        block_size=config.block_size,
-        sim_block_size=config.sim_block_size,
+    scenario = Scenario.build(
+        mechanism=setup.key,
+        malware=adversary,
+        workload="firealarm",
+        config=config,
         seed=seed,
     )
-    device.standard_layout(code_fraction=0.5)
-    channel = Channel(sim, latency=0.002, trace=device.trace)
-    device.attach_network(channel)
-    verifier = Verifier(sim)
-    verifier.register_from_device(device)
-
-    app = FireAlarmApp(
-        device,
-        period=config.task_period,
-        sample_wcet=config.task_wcet,
-        priority=config.task_priority,
-        data_block=device.memory.regions["data"].end - 1,
-    )
-    _install_adversary(device, adversary, config)
-
-    service = setup.build(device, config)
-    collector = None
+    sim = scenario.sim
+    device = scenario.device
+    verifier = scenario.verifier
+    app = scenario.app
+    service = scenario.service
+    collector = scenario.collector
     if setup.kind == "on-demand":
-        driver = OnDemandVerifier(verifier, channel)
-        service.install()
-        sim.schedule_at(
-            config.request_at,
-            driver.request,
-            device.name,
-            setup.rounds,
-        )
+        scenario.schedule_request(config.request_at, rounds=setup.rounds)
     else:
-        collector = CollectorVerifier(verifier, channel)
-        service.start()
         sim.schedule_at(
             config.erasmus_collect_at, collector.collect, device.name
         )

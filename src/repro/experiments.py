@@ -37,7 +37,6 @@ from repro.analysis.smarm_math import (
     single_round_escape,
     single_round_escape_limit,
 )
-from repro.apps.firealarm import FireAlarmApp
 from repro.core.consistency import (
     ConsistencyAnalyzer,
     ConsistencyProfile,
@@ -53,16 +52,13 @@ from repro.core.tradeoff import (
 from repro.crypto.timing import figure2_sizes
 from repro.errors import ConfigurationError
 from repro.malware.transient import TransientMalware
-from repro.ra.erasmus import CollectorVerifier, ErasmusService
 from repro.ra.locking import make_policy
 from repro.ra.measurement import MeasurementConfig, MeasurementProcess
-from repro.ra.service import AttestationService, OnDemandVerifier
-from repro.ra.smarm import SmarmAttestation, escape_probability
-from repro.ra.smart import SmartAttestation
-from repro.ra.verifier import Verifier
+from repro.ra.smarm import escape_probability
+from repro.scenario import Scenario
 from repro.sim.device import Device
 from repro.sim.engine import Simulator
-from repro.sim.network import Channel, DelayAdversary
+from repro.sim.network import DelayAdversary
 from repro.units import GiB, MiB, format_time
 
 
@@ -115,29 +111,27 @@ def fig1_timeline(
     deferred start the caption mentions ("it may be deferred on Prv
     due to networking delays, Vrf's request authentication, or
     termination of the previously running task")."""
-    sim = Simulator()
     block_count = 64
-    device = Device(
-        sim,
-        block_count=block_count,
-        block_size=32,
-        sim_block_size=memory_mib * MiB // block_count,
+    scenario = Scenario.build(
+        mechanism="smart",
+        config=ScenarioConfig(
+            block_count=block_count,
+            block_size=32,
+            sim_block_size=memory_mib * MiB // block_count,
+            algorithm=algorithm,
+        ),
+        layout=None,
+        latency=network_latency,
     )
-    channel = Channel(sim, latency=network_latency, trace=device.trace)
+    device = scenario.device
     if deferral > 0:
-        channel.add_filter(
+        scenario.channel.add_filter(
             DelayAdversary(
                 deferral, kind="att_request", base_latency=network_latency
             )
         )
-    device.attach_network(channel)
-    verifier = Verifier(sim)
-    verifier.register_from_device(device)
-    driver = OnDemandVerifier(verifier, channel)
-    service = SmartAttestation(device, algorithm=algorithm)
-    service.install()
-    exchange = driver.request(device.name)
-    sim.run(until=120)
+    exchange = scenario.driver.request(device.name)
+    scenario.run(until=120)
     if exchange.result is None:
         raise ConfigurationError("attestation did not complete in time")
     request_rx = device.trace.first("ra.request")
@@ -415,35 +409,26 @@ def fig5_qoa(
     timeline.add_infection(infection2)
 
     # Full-stack confirmation.
-    sim = Simulator()
-    device = Device(sim, block_count=16, block_size=32,
-                    sim_block_size=MiB)
-    device.standard_layout()
-    channel = Channel(sim, latency=0.002)
-    device.attach_network(channel)
-    verifier = Verifier(sim)
-    verifier.register_from_device(device)
-    service = ErasmusService(
-        device, period=t_m,
-        config=MeasurementConfig(
-            algorithm="blake2s", order="sequential", atomic=True,
-            priority=50, normalize_mutable=True,
+    scenario = Scenario.build(
+        mechanism="erasmus",
+        config=ScenarioConfig(
+            block_count=16, block_size=32, sim_block_size=MiB,
+            algorithm="blake2s", erasmus_period=t_m, horizon=horizon,
         ),
     )
-    service.start()
-    collector = CollectorVerifier(verifier, channel)
-    collector.collect_every(device.name, period=t_c,
-                            count=int(horizon / t_c))
+    device = scenario.device
+    collector = scenario.collector
+    scenario.schedule_collections(t_c, int(horizon / t_c))
     block = 2  # in the code region
-    m1 = TransientMalware(
+    TransientMalware(
         device, target_block=block, infect_at=infection1.start,
         leave_at=infection1.end, name="infection1",
     )
-    m2 = TransientMalware(
+    TransientMalware(
         device, target_block=block, infect_at=infection2.start,
         leave_at=infection2.end, name="infection2",
     )
-    sim.run(until=horizon)
+    scenario.run(until=horizon)
 
     detected: Dict[str, bool] = {"infection 1": False, "infection 2": False}
     for collection in collector.collections:
@@ -545,48 +530,28 @@ def sec25_firealarm(
         mechanisms = ["none", "smart", "inc-lock", "smarm"]
     rows = []
     for mechanism in mechanisms:
-        sim = Simulator()
-        device = Device(
-            sim, block_count=block_count, block_size=32,
-            sim_block_size=memory_bytes // block_count,
+        scenario = Scenario.build(
+            mechanism=mechanism,
+            workload="firealarm",
+            config=ScenarioConfig(
+                block_count=block_count, block_size=32,
+                sim_block_size=memory_bytes // block_count,
+                algorithm=algorithm, smarm_rounds=1,
+                task_period=1.0, task_wcet=0.002, task_priority=100,
+            ),
+            latency=0.005,
+            workload_options={"data_block": None},
         )
-        device.standard_layout()
-        channel = Channel(sim, latency=0.005)
-        device.attach_network(channel)
-        verifier = Verifier(sim)
-        verifier.register_from_device(device)
-        driver = OnDemandVerifier(verifier, channel)
-        app = FireAlarmApp(device, period=1.0, sample_wcet=0.002,
-                           priority=100)
+        app = scenario.app
+        service = scenario.service
         request_at = 2.0
         mp_duration = 0.0
-        service = None
-        if mechanism != "none":
-            if mechanism == "smart":
-                service = SmartAttestation(device, algorithm=algorithm)
-            elif mechanism == "smarm":
-                service = SmarmAttestation(
-                    device, algorithm=algorithm, rounds=1, priority=50
-                )
-            else:
-                service = AttestationService(
-                    device,
-                    MeasurementConfig(
-                        algorithm=algorithm,
-                        order="sequential",
-                        atomic=False,
-                        locking=make_policy(mechanism),
-                        priority=50,
-                        normalize_mutable=True,
-                    ),
-                    mechanism=mechanism,
-                )
-            service.install()
-            sim.schedule_at(request_at, driver.request, device.name)
+        if scenario.driver is not None:
+            scenario.schedule_request(request_at, rounds=1)
         # Fire breaks out 100 ms after the request (i.e. just after MP
         # starts, the paper's worst case).
         app.start_fire(request_at + 0.1)
-        sim.run(until=60.0)
+        scenario.run(until=60.0)
         if service is not None and service.reports_sent:
             mp_duration = service.reports_sent[0].records[0].duration
         outcome = app.outcome()

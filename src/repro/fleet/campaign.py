@@ -86,6 +86,12 @@ class RunSpec:
     # -- execution limits ----------------------------------------------
     timeout: float = 0.0  # wall-clock seconds per run; 0 = unlimited
     trace_limit: int = 4096  # ring-buffer bound on the device trace
+    # -- fault injection ------------------------------------------------
+    #: FaultPlan DSL string ("loss=0.3@0:30;reset@6"); empty = no faults.
+    #: A non-empty plan also arms the worker's retry layer.  Excluded
+    #: from to_dict()/run_id when empty so fault-free campaigns keep
+    #: their historical identities and golden artifacts byte-identical.
+    faults: str = ""
 
     def __post_init__(self) -> None:
         if self.mechanism not in KNOWN_MECHANISMS:
@@ -105,11 +111,19 @@ class RunSpec:
             )
         if self.horizon <= 0:
             raise ConfigurationError("horizon must be positive")
+        if self.faults:
+            # Validate the DSL at plan time, not deep inside a worker.
+            from repro.resilience.faults import FaultPlan
+
+            FaultPlan.parse(self.faults)
 
     # -- identity -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        data = asdict(self)
+        if not data["faults"]:
+            del data["faults"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
@@ -318,10 +332,41 @@ def locking_availability_campaign(seed_count: int = 4) -> CampaignSpec:
     )
 
 
+def fault_matrix_campaign(seed_count: int = 3) -> CampaignSpec:
+    """On-demand mechanisms under escalating channel trouble.
+
+    Sweeps a clean channel, a 25% loss burst, and loss plus a prover
+    brownout against the retry layer; the ``faults=""`` cells double as
+    the byte-identity control (they must match a fault-free campaign's
+    telemetry exactly, which CI diffs against a golden summary).
+    """
+    return CampaignSpec(
+        name="fault-matrix",
+        base={
+            "adversary": "none",
+            "block_count": 8,
+            "sim_block_size": MiB,
+            "horizon": 30.0,
+            "request_at": 1.0,
+            "workload": "firealarm",
+        },
+        axes={
+            "mechanism": ["smart", "inc-lock", "smarm"],
+            "faults": [
+                "",
+                "loss=0.25@0:20",
+                "loss=0.25@0:20;reset@4",
+            ],
+        },
+        seeds=range(seed_count),
+    )
+
+
 CANNED_CAMPAIGNS: Dict[str, Callable[[int], CampaignSpec]] = {
     "qoa": qoa_fleet_campaign,
     "matrix": matrix_fleet_campaign,
     "locking": locking_availability_campaign,
+    "faults": fault_matrix_campaign,
 }
 
 

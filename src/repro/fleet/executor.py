@@ -34,12 +34,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
-from repro.apps.firealarm import FireAlarmApp
 from repro.apps.metrics import summarize_tasks
-from repro.apps.workloads import WriterWorkload
 from repro.core.qoa import QoAParameters
-from repro.core.tradeoff import ScenarioConfig, standard_mechanisms
+from repro.core.tradeoff import ScenarioConfig
 from repro.crypto.drbg import HmacDrbg
+from repro.crypto.timing import OdroidXU4Model
 from repro.errors import ConfigurationError
 from repro.fleet.campaign import RunSpec
 from repro.fleet.clock import perf_time
@@ -50,19 +49,11 @@ from repro.fleet.telemetry import (
     failure_result,
     verdict_histogram,
 )
-from repro.malware.relocating import SelfRelocatingMalware
 from repro.obs.core import Observability
 from repro.obs.metrics import MetricsRegistry
-from repro.malware.transient import TransientMalware
-from repro.ra.erasmus import CollectorVerifier
-from repro.ra.measurement import MeasurementConfig
 from repro.ra.report import Verdict
-from repro.ra.seed import SeedMonitor, SeedService
-from repro.ra.service import OnDemandVerifier
-from repro.ra.verifier import Verifier
-from repro.sim.device import Device
-from repro.sim.engine import Simulator
-from repro.sim.network import Channel
+from repro.resilience.retry import RetryPolicy
+from repro.scenario import Scenario
 from repro.sim.trace import Trace
 
 
@@ -108,31 +99,26 @@ def _effective_infect_at(spec: RunSpec) -> float:
     return spec.infect_at + drbg.uniform() * spec.infect_jitter
 
 
-def _install_adversary(device: Device, spec: RunSpec) -> None:
-    if spec.adversary == "none":
-        return
-    infect_at = _effective_infect_at(spec)
-    if spec.adversary == "transient":
-        explicit_dwell = spec.dwell > 0
-        TransientMalware(
-            device,
-            target_block=spec.malware_block,
-            infect_at=infect_at,
-            leave_at=infect_at + spec.dwell if explicit_dwell else None,
-            reactive=not explicit_dwell,
-            reappear=not explicit_dwell,
-        )
-        return
-    if spec.adversary == "relocating":
-        SelfRelocatingMalware(
-            device,
-            target_block=spec.malware_block,
-            infect_at=infect_at,
-            strategy="to-measured",
-            rng_seed=spec.seed,
-        )
-        return
-    raise ConfigurationError(f"unknown adversary {spec.adversary!r}")
+def _retry_policy(spec: RunSpec) -> RetryPolicy:
+    """Retransmission budget for fault-injected runs, sized from the
+    device's timing model: the per-exchange timeout must cover a full
+    measurement pass (plus channel latency), else every exchange would
+    "time out" while the prover is still hashing."""
+    measure = (
+        OdroidXU4Model().hash_time(spec.algorithm, spec.sim_block_size)
+        * spec.block_count
+    )
+    if spec.mechanism == "smarm":
+        measure *= max(1, spec.rounds)
+    timeout = max(0.5, 2.0 * measure)
+    return RetryPolicy(
+        timeout=timeout,
+        max_retries=6,
+        backoff=1.5,
+        max_timeout=max(4.0, 2.0 * timeout),
+        jitter=0.1,
+        seed=f"fleet-retry-{spec.campaign}-{spec.seed}".encode(),
+    )
 
 
 def _qoa_stats(spec: RunSpec) -> Dict[str, float]:
@@ -175,100 +161,60 @@ def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
 
     if obs is None:
         obs = Observability(metrics=MetricsRegistry())
-    sim = Simulator(obs=obs)
-    device = Device(
-        sim,
-        block_count=spec.block_count,
-        block_size=spec.block_size,
-        sim_block_size=spec.sim_block_size,
+
+    # All wiring goes through the one factory; the executor only maps
+    # spec fields onto factory arguments and schedules the protocol.
+    faults = spec.faults or None
+    scenario = Scenario.build(
+        mechanism=spec.mechanism,
+        malware=spec.adversary,
+        faults=faults,
+        workload=(
+            spec.workload if spec.workload in ("firealarm", "writers")
+            else None
+        ),
+        config=_scenario_config(spec),
         seed=spec.seed,
+        retry=_retry_policy(spec) if faults else None,
+        obs=obs,
         trace=Trace(max_records=spec.trace_limit),
+        fault_seed=f"fleet-faults-{spec.campaign}-{spec.seed}".encode(),
+        malware_options={
+            "block": spec.malware_block,
+            "infect_at": _effective_infect_at(spec),
+            "dwell": spec.dwell,
+            "rng_seed": spec.seed,
+        },
+        seed_options={
+            "shared": hashlib.sha256(
+                f"fleet-seed-{spec.campaign}-{spec.seed}".encode()
+            ).digest()[:16],
+        },
+        workload_options={"tasks": spec.writer_tasks},
     )
-    device.standard_layout()
-    channel = Channel(sim, latency=0.002, trace=device.trace)
-    device.attach_network(channel)
-    verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    sim = scenario.sim
+    device = scenario.device
+    verifier = scenario.verifier
+    tasks = scenario.tasks
+    service: Any = scenario.service
 
-    tasks = []
-    if spec.workload == "firealarm":
-        app = FireAlarmApp(
-            device,
-            period=spec.task_period,
-            sample_wcet=spec.task_wcet,
-            priority=spec.task_priority,
-            data_block=device.memory.regions["data"].end - 1,
+    if scenario.driver is not None:
+        request_rounds = spec.rounds if spec.mechanism == "smarm" else 1
+        scenario.schedule_request(spec.request_at, rounds=request_rounds)
+    elif scenario.collector is not None:
+        scenario.schedule_collections(
+            spec.t_c, max(1, int(spec.horizon / spec.t_c))
         )
-        tasks.append(app.task)
-    elif spec.workload == "writers":
-        workload = WriterWorkload(
-            device,
-            task_count=spec.writer_tasks,
-            period=spec.task_period,
-            wcet=spec.task_wcet,
-            priority=spec.task_priority,
-        ).build()
-        tasks.extend(workload.tasks)
-
-    _install_adversary(device, spec)
-
-    cfg = _scenario_config(spec)
-    service: Any = None
-    collector: Optional[CollectorVerifier] = None
-    seed_service: Optional[SeedService] = None
-    if spec.mechanism == "seed":
-        shared = hashlib.sha256(
-            f"fleet-seed-{spec.campaign}-{spec.seed}".encode()
-        ).digest()[:16]
-        gap_lo, gap_hi = 0.5 * spec.t_m, 1.5 * spec.t_m
-        triggers = max(1, int(spec.horizon / spec.t_m))
-        seed_service = SeedService(
-            device,
-            shared,
-            min_gap=gap_lo,
-            max_gap=gap_hi,
-            trigger_count=triggers,
-            config=MeasurementConfig(
-                algorithm=spec.algorithm,
-                order="sequential",
-                atomic=False,
-                priority=spec.mp_priority,
-                normalize_mutable=True,
-            ),
-        )
-        SeedMonitor(
-            verifier, channel, device.name, shared,
-            min_gap=gap_lo, max_gap=gap_hi, trigger_count=triggers,
-        )
-        seed_service.start()
-    else:
-        setup = standard_mechanisms()[spec.mechanism]
-        service = setup.build(device, cfg)
-        if setup.kind == "on-demand":
-            driver = OnDemandVerifier(verifier, channel)
-            service.install()
-            request_rounds = spec.rounds if spec.mechanism == "smarm" else 1
-            sim.schedule_at(
-                spec.request_at, driver.request, device.name, request_rounds
-            )
-        else:  # self-measurement (ERASMUS)
-            collector = CollectorVerifier(verifier, channel)
-            service.start()
-            collector.collect_every(
-                device.name,
-                period=spec.t_c,
-                count=max(1, int(spec.horizon / spec.t_c)),
-            )
 
     sim_time = sim.run(until=spec.horizon)
 
     # -- fold the scenario into telemetry -------------------------------
-    if seed_service is not None:
-        reports = list(seed_service.reports_sent)
+    if scenario.seed_service is not None:
+        reports = list(scenario.seed_service.reports_sent)
         records = [rec for report in reports for rec in report.records]
-    elif collector is not None:
+    elif scenario.collector is not None:
         records = list(service.history)
-        reports = list(collector.collections)
+        reports = list(scenario.collector.collections)
     else:
         reports = list(service.reports_sent)
         records = [rec for report in reports for rec in report.records]
@@ -285,9 +231,20 @@ def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
 
     availability = None
     if tasks:
-        availability = summarize_tasks(
-            device, tasks, elapsed=sim_time
-        ).to_dict()
+        availability_report = summarize_tasks(device, tasks, elapsed=sim_time)
+        if scenario.outcomes is not None:
+            scenario.outcomes.fold_into(availability_report)
+        availability = availability_report.to_dict()
+
+    outcome_data: Dict[str, Any] = {}
+    if scenario.outcomes is not None:
+        # drop the per-exchange list: aggregates belong in the JSONL
+        # artifact, exchange detail stays in-process
+        outcome_data = {
+            key: value
+            for key, value in scenario.outcomes.to_dict().items()
+            if key != "exchanges"
+        }
 
     return RunResult(
         run_id=spec.run_id,
@@ -313,6 +270,7 @@ def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
         trace_events=len(device.trace),
         trace_dropped=device.trace.dropped,
         telemetry=obs.metrics.snapshot_flat(),
+        outcomes=outcome_data,
         sim_time=sim_time,
     )
 

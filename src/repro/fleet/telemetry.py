@@ -63,6 +63,11 @@ class RunResult:
     #: flat sim-time metric snapshot (repro.obs); deterministic because
     #: every value is stamped from the simulation clock
     telemetry: Dict[str, float] = field(default_factory=dict)
+    # -- degradation ------------------------------------------------------
+    #: OutcomeReport aggregate (fault-injected runs only); excluded
+    #: from serialization when empty so fault-free artifacts keep their
+    #: historical byte-identical form
+    outcomes: Dict[str, Any] = field(default_factory=dict)
     # -- time ------------------------------------------------------------
     sim_time: float = 0.0
     wall_clock: float = 0.0  # volatile
@@ -77,6 +82,8 @@ class RunResult:
         data["verdict_counts"] = dict(sorted(self.verdict_counts.items()))
         data["qoa"] = dict(sorted(self.qoa.items()))
         data["telemetry"] = dict(sorted(self.telemetry.items()))
+        if not data["outcomes"]:
+            del data["outcomes"]
         if deterministic:
             for name in VOLATILE_FIELDS:
                 data.pop(name, None)

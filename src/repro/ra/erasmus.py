@@ -33,8 +33,9 @@ from repro.ra.report import (
     Verdict,
     VerificationResult,
 )
-from repro.ra.service import listen
+from repro.ra.service import listen, send_report
 from repro.ra.verifier import Verifier
+from repro.resilience.retry import RetryPolicy
 from repro.sim.device import Device
 from repro.sim.network import Channel, Message
 from repro.sim.process import Process, Sleep
@@ -167,7 +168,7 @@ class ErasmusService:
                 device.attestation_key, device.name, [mp.record],
                 sent_counter=counter,
             )
-            device.nic.send(src, "att_report", report)
+            send_report(device.nic, src, report)
 
         proc.done_signal.wait(reply)
 
@@ -261,9 +262,29 @@ class CollectionResult:
         return gaps
 
 
+@dataclass
+class _PendingCollection:
+    """Book-keeping for one outstanding collect_request."""
+
+    device: str
+    on_result: Optional[Callable[[CollectionResult], None]]
+    requested_at: float
+    attempts: int = 1
+    drbg: Optional[object] = None
+    timeout: Optional[object] = None
+
+
 class CollectorVerifier:
     """Verifier-side collection driver (defines ``T_C`` when polled
-    periodically; see the QoA benchmarks)."""
+    periodically; see the QoA benchmarks).
+
+    With ``retry=None`` (the default) a lost ``collect_reply`` is
+    silently never noticed -- the classic behavior, and zero extra
+    simulator events.  Passing a :class:`RetryPolicy` arms missed-report
+    detection: an unanswered collection is counted as missed and the
+    *same-nonce* request is retransmitted with exponential backoff (the
+    prover is stateless per collection, so catch-up simply serves the
+    current history)."""
 
     def __init__(
         self,
@@ -271,12 +292,15 @@ class CollectorVerifier:
         channel: Channel,
         endpoint_name: str = "vrf",
         verify_latency: float = 1e-3,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.verifier = verifier
         self.channel = channel
         self.endpoint = channel.make_endpoint(endpoint_name)
         self.verify_latency = verify_latency
+        self.retry = retry
         self.collections: List[CollectionResult] = []
+        self.missed = 0  # collections abandoned after the retry budget
         self._nonce_counter = 0
         self._outstanding = {}
         listen(self.endpoint, self._on_message,
@@ -288,8 +312,53 @@ class CollectorVerifier:
         """Ask ``device_name`` for its stored measurements."""
         self._nonce_counter += 1
         nonce = b"collect" + self._nonce_counter.to_bytes(8, "big")
-        self._outstanding[nonce] = (on_result, self.verifier.sim.now)
-        self.endpoint.send(device_name, "collect_request", {"nonce": nonce})
+        pending = _PendingCollection(
+            device=device_name,
+            on_result=on_result,
+            requested_at=self.verifier.sim.now,
+        )
+        if self.retry is not None:
+            pending.drbg = self.retry.drbg_for(nonce)
+        self._outstanding[nonce] = pending
+        self._transmit(nonce, pending)
+
+    def _transmit(self, nonce: bytes, pending: _PendingCollection) -> None:
+        self.endpoint.send(
+            pending.device, "collect_request", {"nonce": nonce}
+        )
+        if self.retry is not None:
+            wait = self.retry.wait_before(pending.attempts, pending.drbg)
+            pending.timeout = self.verifier.sim.schedule(
+                wait, self._on_timeout, nonce
+            )
+
+    def _on_timeout(self, nonce: bytes) -> None:
+        pending = self._outstanding.get(nonce)
+        if pending is None:
+            return  # reply arrived meanwhile
+        pending.timeout = None
+        obs = self.verifier.sim.obs
+        if pending.attempts >= self.retry.max_attempts:
+            del self._outstanding[nonce]
+            self.missed += 1
+            if obs.enabled:
+                obs.metrics.counter(
+                    "erasmus.collections.missed",
+                    "collections abandoned after the retry budget",
+                ).inc()
+                obs.metrics.counter(
+                    "ra.timeouts.total",
+                    "attestation exchanges abandoned after the retry budget",
+                ).inc()
+            if pending.on_result is not None:
+                pending.on_result(None)
+            return
+        pending.attempts += 1
+        if obs.enabled:
+            obs.metrics.counter(
+                "ra.retries.total", "attestation challenge retransmissions",
+            ).inc()
+        self._transmit(nonce, pending)
 
     def collect_every(self, device_name: str, period: float,
                       count: int) -> None:
@@ -304,13 +373,16 @@ class CollectorVerifier:
             return
         payload = message.payload
         nonce = payload.get("nonce", b"")
-        if nonce not in self._outstanding:
-            return  # stale or replayed collection
-        on_result, requested_at = self._outstanding.pop(nonce)
+        pending = self._outstanding.pop(nonce, None)
+        if pending is None:
+            return  # stale, replayed, or duplicate collection reply
+        if pending.timeout is not None:
+            pending.timeout.cancel()
+            pending.timeout = None
         report: AttestationReport = payload["report"]
         self.verifier.sim.schedule(
-            self.verify_latency, self._finish, report, on_result,
-            requested_at,
+            self.verify_latency, self._finish, report, pending.on_result,
+            pending.requested_at,
         )
 
     def _finish(self, report: AttestationReport, on_result,

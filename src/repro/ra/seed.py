@@ -69,6 +69,7 @@ class SeedService:
         max_gap: float = 15.0,
         trigger_count: int = 20,
         config: Optional[MeasurementConfig] = None,
+        serve_fetch: bool = False,
     ) -> None:
         if device.nic is None:
             raise ConfigurationError("device needs a NIC for SeED")
@@ -82,6 +83,10 @@ class SeedService:
         self.schedule = trigger_schedule(
             shared_seed, min_gap, max_gap, trigger_count
         )
+        #: opt-in: answer ``seed_fetch`` catch-up requests by resending
+        #: the stored report (default off -- listening adds NIC events)
+        self.serve_fetch = serve_fetch
+        self.fetches_served = 0
         self.reports_sent: List[AttestationReport] = []
         self._counter = 0
 
@@ -93,6 +98,29 @@ class SeedService:
         """
         for trigger_time in self.schedule:
             self.device.secure_timer.at(trigger_time, self._triggered)
+        if self.serve_fetch:
+            listen(self.device.nic, self._on_fetch,
+                   kinds=frozenset({"seed_fetch"}))
+
+    def _on_fetch(self, message: Message) -> None:
+        """Catch-up: resend a stored report the verifier never saw.
+
+        Reports are kept in RAM, which survives a brownout, so the
+        fetch path also recovers reports generated before a reset."""
+        payload = message.payload or {}
+        counter = payload.get("counter")
+        for report in self.reports_sent:
+            if report.sent_counter == counter:
+                self.fetches_served += 1
+                self.device.trace.record(
+                    self.device.sim.now, "seed.fetch", self.device.name,
+                    counter=counter,
+                )
+                self.device.nic.send(
+                    message.src, "seed_fetch_reply",
+                    {"counter": counter, "report": report},
+                )
+                return
 
     def _triggered(self) -> None:
         self._counter += 1
@@ -129,6 +157,7 @@ class ExpectedReport:
     trigger_time: float
     deadline: float
     received: bool = False
+    fetch_sent: bool = False
     result: Optional[VerificationResult] = None
 
 
@@ -159,6 +188,7 @@ class SeedMonitor:
         endpoint_name: str = "vrf",
         replay_defense: str = "counter",
         clock_skew_bound: float = 1.0,
+        catch_up: bool = False,
     ) -> None:
         if replay_defense not in ("counter", "clock"):
             raise ConfigurationError(
@@ -169,6 +199,11 @@ class SeedMonitor:
         self.grace = grace
         self.replay_defense = replay_defense
         self.clock_skew_bound = clock_skew_bound
+        #: opt-in missed-report recovery: a slot whose deadline passes
+        #: gets one ``seed_fetch`` before being declared MISSING (the
+        #: prover must run ``serve_fetch=True``)
+        self.catch_up = catch_up
+        self.fetched = 0  # slots recovered via catch-up
         self.endpoint = channel.make_endpoint(endpoint_name)
         schedule = trigger_schedule(
             shared_seed, min_gap, max_gap, trigger_count
@@ -183,6 +218,9 @@ class SeedMonitor:
         ]
         listen(self.endpoint, self._on_message,
                kinds=frozenset({"seed_report"}))
+        if catch_up:
+            listen(self.endpoint, self._on_fetch_reply,
+                   kinds=frozenset({"seed_fetch_reply"}))
         for slot in self.expected:
             verifier.sim.schedule_at(slot.deadline, self._check_missing, slot)
 
@@ -221,8 +259,49 @@ class SeedMonitor:
             slot.received = True
             slot.result = result
 
+    def _on_fetch_reply(self, message: Message) -> None:
+        """A catch-up fetch came back: verify it against its slot.
+
+        The per-stream monotonic counter has usually moved past the
+        missing slot by now (later pushes verified first), so the
+        fetched report is verified *without* counter enforcement --
+        its binding to the slot is the authenticated ``sent_counter``
+        the verifier asked for, and staleness is expected by
+        construction, so the clock defense is skipped too."""
+        payload = message.payload or {}
+        report = payload.get("report")
+        if report is None or report.device != self.device_name:
+            return
+        slot = self._slot_for(payload.get("counter"))
+        if slot is None or slot.received:
+            return
+        result = self.verifier.verify_report(report)
+        slot.received = True
+        slot.result = result
+        self.fetched += 1
+        obs = self.verifier.sim.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "seed.catchup.recovered",
+                "missed SeED reports recovered via fetch",
+            ).inc()
+
     def _check_missing(self, slot: ExpectedReport) -> None:
         if slot.received:
+            return
+        if self.catch_up and not slot.fetch_sent:
+            slot.fetch_sent = True
+            self.endpoint.send(
+                self.device_name, "seed_fetch", {"counter": slot.counter}
+            )
+            obs = self.verifier.sim.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "seed.catchup.fetches",
+                    "catch-up fetches sent for missed SeED reports",
+                ).inc()
+            # one grace window for the fetch round trip
+            self.verifier.sim.schedule(self.grace, self._check_missing, slot)
             return
         result = VerificationResult(
             verdict=Verdict.MISSING,

@@ -16,16 +16,33 @@ its verification latency is charged as a configurable engine delay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.ra.measurement import MeasurementConfig, MeasurementProcess
-from repro.ra.report import AttestationReport, VerificationResult
+from repro.ra.report import AttestationReport, Verdict, VerificationResult
 from repro.ra.verifier import Verifier
+from repro.resilience.retry import RetryPolicy
 from repro.sim.device import Device
 from repro.sim.engine import Signal
 from repro.sim.network import Channel, Endpoint, Message
 from repro.sim.process import Compute, Process, Sleep, WaitSignal
+
+#: how many settled challenge nonces the prover remembers for dedup
+DEDUP_CACHE_SIZE = 64
+
+
+def send_report(endpoint: Endpoint, dst: str, report: Any,
+                kind: str = "att_report") -> Message:
+    """The one sanctioned way attestation traffic enters the channel.
+
+    Retransmission safety lives in the retry/dedup layer of this
+    module; protocol code elsewhere must route ``att_*`` sends through
+    here (or :class:`OnDemandVerifier`) so a send is never silently
+    unrecoverable -- the ``ra-naked-send`` lint rule enforces exactly
+    that boundary.
+    """
+    return endpoint.send(dst, kind, report)
 
 
 def listen(
@@ -103,9 +120,25 @@ class AttestationService:
         self._request_signal = Signal(device.sim, f"{device.name}.ra.req")
         self._pending: List[Message] = []
         self.process: Optional[Process] = None
+        # Nonce dedup: None while that challenge's measurement is in
+        # flight, the finished report once settled.  Retransmitted
+        # challenges never double-measure -- in-flight duplicates are
+        # dropped, settled ones get the cached report resent.  The
+        # cache is volatile, so a Device.reset clears it and post-reset
+        # retransmissions legitimately re-measure.
+        self._dedup: Dict[bytes, Optional[AttestationReport]] = {}
+        self._hooked = False
 
     def install(self) -> Process:
         """Register the message listener and start the dispatcher."""
+        if not self._hooked:
+            self.device.add_reset_hook(self._on_reset)
+            self._hooked = True
+        return self._activate()
+
+    # -- internals --------------------------------------------------------
+
+    def _activate(self) -> Process:
         listen(self.device.nic, self._on_message,
                kinds=frozenset({"att_request"}))
         self.process = self.device.cpu.spawn(
@@ -115,13 +148,52 @@ class AttestationService:
         )
         return self.process
 
-    # -- internals --------------------------------------------------------
+    def _on_reset(self) -> None:
+        """Brownout: volatile RA state is gone; come back up listening."""
+        self._pending.clear()
+        self._dedup.clear()
+        self._request_signal.clear()
+        self.device.trace.record(
+            self.device.sim.now, "ra.service.reboot", self.device.name
+        )
+        self._activate()
 
     def _on_message(self, message: Message) -> None:
         if message.kind != "att_request":
             return
+        payload = message.payload or {}
+        nonce = payload.get("nonce", b"")
+        if nonce and nonce in self._dedup:
+            cached = self._dedup[nonce]
+            self.device.trace.record(
+                self.device.sim.now, "ra.dedup", self.device.name,
+                src=message.src, settled=cached is not None,
+            )
+            obs = self.device.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "ra.dedup.hits",
+                    "retransmitted challenges absorbed without re-measuring",
+                    mechanism=self.mechanism,
+                ).inc()
+            if cached is not None:
+                # Settled: the report (not the measurement) was lost.
+                send_report(self.device.nic, message.src, cached)
+            # In flight: the running measurement will answer.
+            return
+        if nonce:
+            self._dedup[nonce] = None
         self._pending.append(message)
         self._request_signal.fire(message)
+
+    def _trim_dedup(self) -> None:
+        while len(self._dedup) > DEDUP_CACHE_SIZE:
+            for key, value in self._dedup.items():
+                if value is not None:
+                    del self._dedup[key]
+                    break
+            else:
+                return
 
     def _dispatcher(self, proc: Process):
         device = self.device
@@ -179,7 +251,10 @@ class AttestationService:
                 )
             self.reports_sent.append(report)
             self.requests_handled += 1
-            device.nic.send(message.src, "att_report", report)
+            if nonce:
+                self._dedup[nonce] = report
+                self._trim_dedup()
+            send_report(device.nic, message.src, report)
             device.trace.record(
                 device.sim.now, "ra.reply", device.name,
                 records=len(records), signed=self.signer is not None,
@@ -195,11 +270,18 @@ class AttestationService:
 
 @dataclass
 class AttestationExchange:
-    """One completed request/response, with its Figure 1 timeline."""
+    """One challenge/response exchange, with its Figure 1 timeline.
+
+    ``attempts`` counts challenge transmissions (1 = no retransmission);
+    ``status`` moves ``pending`` -> ``verified`` | ``timed-out``.
+    """
 
     device: str
     nonce: bytes
     requested_at: float
+    rounds: int = 1
+    attempts: int = 1
+    status: str = "pending"
     report: Optional[AttestationReport] = None
     report_received_at: Optional[float] = None
     result: Optional[VerificationResult] = None
@@ -212,7 +294,18 @@ class AttestationExchange:
 
 
 class OnDemandVerifier:
-    """Verifier-side driver for challenge/response attestation."""
+    """Verifier-side driver for challenge/response attestation.
+
+    With ``retry=None`` (the default) behavior is exactly the classic
+    fire-and-forget exchange and *no* extra simulator events are
+    scheduled.  Passing a :class:`RetryPolicy` arms a per-exchange
+    timeout: unanswered challenges are retransmitted with the same
+    nonce (the prover's dedup cache keeps that idempotent), backing off
+    exponentially with DRBG-seeded jitter, until the report verifies or
+    the retry budget runs out.  An optional
+    :class:`~repro.resilience.outcome.OutcomeReport` receives the
+    classified outcome of every exchange.
+    """
 
     def __init__(
         self,
@@ -220,11 +313,15 @@ class OnDemandVerifier:
         channel: Channel,
         endpoint_name: str = "vrf",
         verify_latency: float = 1e-3,
+        retry: Optional[RetryPolicy] = None,
+        outcomes: Optional["OutcomeReport"] = None,  # noqa: F821
     ) -> None:
         self.verifier = verifier
         self.channel = channel
         self.endpoint = channel.make_endpoint(endpoint_name)
         self.verify_latency = verify_latency
+        self.retry = retry
+        self.outcomes = outcomes
         self.exchanges: List[AttestationExchange] = []
         self._outstanding: Dict[bytes, AttestationExchange] = {}
         listen(self.endpoint, self._on_message,
@@ -243,14 +340,73 @@ class OnDemandVerifier:
             device=device_name,
             nonce=nonce,
             requested_at=self.verifier.sim.now,
+            rounds=rounds,
         )
         exchange._on_result = on_result  # type: ignore[attr-defined]
+        exchange._timeout = None  # type: ignore[attr-defined]
+        exchange._drbg = (  # type: ignore[attr-defined]
+            None if self.retry is None else self.retry.drbg_for(nonce)
+        )
         self.exchanges.append(exchange)
         self._outstanding[nonce] = exchange
-        self.endpoint.send(
-            device_name, "att_request", {"nonce": nonce, "rounds": rounds}
-        )
+        self._transmit(exchange)
         return exchange
+
+    def _transmit(self, exchange: AttestationExchange) -> None:
+        self.endpoint.send(
+            exchange.device, "att_request",
+            {"nonce": exchange.nonce, "rounds": exchange.rounds},
+        )
+        if self.retry is not None:
+            wait = self.retry.wait_before(exchange.attempts, exchange._drbg)
+            exchange._timeout = self.verifier.sim.schedule(
+                wait, self._on_timeout, exchange
+            )
+
+    def _retransmit(self, exchange: AttestationExchange) -> None:
+        exchange.attempts += 1
+        obs = self.channel.sim.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "ra.retries.total", "attestation challenge retransmissions",
+            ).inc()
+        if self.channel.trace is not None:
+            self.channel.trace.record(
+                self.channel.sim.now, "ra.retry", self.endpoint.name,
+                device=exchange.device, attempt=exchange.attempts,
+            )
+        self._transmit(exchange)
+
+    def _on_timeout(self, exchange: AttestationExchange) -> None:
+        if exchange.status != "pending" or exchange.report is not None:
+            return  # report arrived or exchange settled meanwhile
+        exchange._timeout = None
+        if exchange.attempts >= self.retry.max_attempts:
+            self._conclude_failure(exchange)
+            return
+        self._retransmit(exchange)
+
+    def _conclude_failure(self, exchange: AttestationExchange) -> None:
+        exchange.status = "timed-out"
+        self._outstanding.pop(exchange.nonce, None)
+        obs = self.channel.sim.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "ra.timeouts.total",
+                "attestation exchanges abandoned after the retry budget",
+            ).inc()
+        if self.outcomes is not None:
+            self.outcomes.record(
+                device=exchange.device,
+                nonce=exchange.nonce,
+                requested_at=exchange.requested_at,
+                concluded_at=self.channel.sim.now,
+                attempts=exchange.attempts,
+                completed=False,
+            )
+        callback = getattr(exchange, "_on_result", None)
+        if callback is not None:
+            callback(exchange)
 
     def _on_message(self, message: Message) -> None:
         if message.kind != "att_report":
@@ -264,17 +420,36 @@ class OnDemandVerifier:
                 self.verifier.verify_report, report, b"\x00",
             )
             return
+        if exchange.report is not None:
+            return  # duplicate of a report already being verified
         exchange.report = report
         exchange.report_received_at = self.verifier.sim.now
+        timeout = getattr(exchange, "_timeout", None)
+        if timeout is not None:
+            timeout.cancel()
+            exchange._timeout = None  # type: ignore[attr-defined]
         self.verifier.sim.schedule(
             self.verify_latency, self._finish, exchange
         )
 
     def _finish(self, exchange: AttestationExchange) -> None:
-        exchange.result = self.verifier.verify_report(
+        result = self.verifier.verify_report(
             exchange.report, expected_nonce=exchange.nonce
         )
-        del self._outstanding[exchange.nonce]
+        if (
+            self.retry is not None
+            and result.verdict in (Verdict.INVALID, Verdict.REPLAY)
+            and exchange.attempts < self.retry.max_attempts
+        ):
+            # The report was damaged or stale, not the device dishonest:
+            # spend a retry instead of concluding.
+            exchange.report = None
+            exchange.report_received_at = None
+            self._retransmit(exchange)
+            return
+        exchange.result = result
+        exchange.status = "verified"
+        self._outstanding.pop(exchange.nonce, None)
         obs = self.channel.sim.obs
         if obs.enabled:
             now = self.channel.sim.now
@@ -287,6 +462,16 @@ class OnDemandVerifier:
                 "ra.round_trip.latency",
                 "challenge to verdict latency (sim s)",
             ).observe(now - exchange.requested_at)
+        if self.outcomes is not None:
+            self.outcomes.record(
+                device=exchange.device,
+                nonce=exchange.nonce,
+                requested_at=exchange.requested_at,
+                concluded_at=self.channel.sim.now,
+                attempts=exchange.attempts,
+                completed=True,
+                verdict=exchange.result.verdict.value,
+            )
         callback = getattr(exchange, "_on_result", None)
         if callback is not None:
             callback(exchange)

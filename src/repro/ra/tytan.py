@@ -28,7 +28,7 @@ from typing import Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.ra.measurement import MeasurementConfig, MeasurementProcess
 from repro.ra.report import AttestationReport
-from repro.ra.service import AttestationService
+from repro.ra.service import AttestationService, send_report
 from repro.sim.device import Device
 from repro.sim.process import Process, WaitSignal
 
@@ -116,4 +116,4 @@ class TytanAttestation(AttestationService):
             )
             self.reports_sent.append(report)
             self.requests_handled += 1
-            device.nic.send(message.src, "att_report", report)
+            send_report(device.nic, message.src, report)

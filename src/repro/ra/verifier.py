@@ -14,6 +14,7 @@ a strictly increasing monotonic counter (Section 3.3).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +29,22 @@ from repro.ra.report import (
     VerificationResult,
 )
 from repro.sim.engine import Simulator
+
+#: deprecated-entry-point names already warned about (warn once per
+#: process, not once per call -- shims stay quiet in loops)
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_deprecated(old: str) -> None:
+    if old in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(old)
+    warnings.warn(
+        f"Verifier.{old} is deprecated; use Verifier.enroll(device, "
+        f"*, signing=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -67,16 +84,83 @@ class Verifier:
 
     # -- registry ---------------------------------------------------------
 
-    def register_device(
+    def enroll(
+        self,
+        device,
+        *,
+        signing=None,
+        key: Optional[bytes] = None,
+        reference: Optional[Sequence[bytes]] = None,
+        region_map: Optional[Dict[str, List[int]]] = None,
+        mutable_blocks: Optional[frozenset] = None,
+    ) -> DeviceProfile:
+        """Enroll a prover: the one registry entry point.
+
+        ``device`` is either a simulated
+        :class:`~repro.sim.device.Device` -- whose pristine image,
+        region layout and key become the reference state -- or a bare
+        device name, in which case ``key`` and ``reference`` must be
+        supplied.  ``signing`` attaches a public identity for
+        non-repudiable reports (Section 2.4).
+
+        Enrolling an already-known device is idempotent: the existing
+        profile is returned (reference state is *not* refreshed), with
+        ``signing`` applied when given -- so attaching a signing
+        identity after enrollment is just a second ``enroll`` call.
+
+        Replaces the deprecated ``register_device`` /
+        ``register_from_device`` / ``register_signing_identity`` trio.
+        """
+        if isinstance(device, str):
+            name = device
+            if name not in self.devices:
+                if key is None or reference is None:
+                    raise ConfigurationError(
+                        "enrolling by name requires key= and reference="
+                    )
+                self._new_profile(
+                    name, key, reference, region_map, mutable_blocks
+                )
+            profile = self.profile(name)
+        else:
+            name = device.name
+            if name not in self.devices:
+                if region_map is None:
+                    region_map = {
+                        region.name: list(region.blocks())
+                        for region in device.memory.regions.values()
+                    }
+                if mutable_blocks is None:
+                    mutable_blocks = frozenset(
+                        block
+                        for region in device.memory.regions.values()
+                        if region.mutable
+                        for block in region.blocks()
+                    )
+                self._new_profile(
+                    name,
+                    device.attestation_key if key is None else key,
+                    (
+                        list(device.memory.benign_image())
+                        if reference is None
+                        else reference
+                    ),
+                    region_map,
+                    mutable_blocks,
+                )
+            profile = self.profile(name)
+        if signing is not None:
+            profile.public_identity = signing
+        return profile
+
+    def _new_profile(
         self,
         name: str,
         key: bytes,
         reference: Sequence[bytes],
-        region_map: Optional[Dict[str, List[int]]] = None,
-        mutable_blocks: Optional[frozenset] = None,
+        region_map: Optional[Dict[str, List[int]]],
+        mutable_blocks: Optional[frozenset],
     ) -> DeviceProfile:
-        if name in self.devices:
-            raise ConfigurationError(f"device {name!r} already registered")
         profile = DeviceProfile(
             name=name,
             key=key,
@@ -88,37 +172,45 @@ class Verifier:
         self._seen_nonces[name] = set()
         return profile
 
+    # -- deprecated registry shims (pre-enroll API) -----------------------
+
+    def register_device(
+        self,
+        name: str,
+        key: bytes,
+        reference: Sequence[bytes],
+        region_map: Optional[Dict[str, List[int]]] = None,
+        mutable_blocks: Optional[frozenset] = None,
+    ) -> DeviceProfile:
+        """Deprecated: use :meth:`enroll`.  Kept (with the historical
+        duplicate-registration error) for old call sites."""
+        _warn_deprecated("register_device")
+        if name in self.devices:
+            raise ConfigurationError(f"device {name!r} already registered")
+        return self._new_profile(
+            name, key, reference, region_map, mutable_blocks
+        )
+
     def register_from_device(self, device) -> DeviceProfile:
-        """Convenience: register a simulated Device using its pristine
-        image as the reference state."""
-        region_map = {
-            region.name: list(region.blocks())
-            for region in device.memory.regions.values()
-        }
-        mutable = frozenset(
-            block
-            for region in device.memory.regions.values()
-            if region.mutable
-            for block in region.blocks()
-        )
-        return self.register_device(
-            device.name,
-            device.attestation_key,
-            list(device.memory.benign_image()),
-            region_map,
-            mutable,
-        )
+        """Deprecated: use :meth:`enroll`."""
+        _warn_deprecated("register_from_device")
+        if device.name in self.devices:
+            raise ConfigurationError(
+                f"device {device.name!r} already registered"
+            )
+        return self.enroll(device)
+
+    def register_signing_identity(self, device_name: str,
+                                  public_identity) -> None:
+        """Deprecated: use ``enroll(device, signing=...)``."""
+        _warn_deprecated("register_signing_identity")
+        self.profile(device_name).public_identity = public_identity
 
     def profile(self, device_name: str) -> DeviceProfile:
         profile = self.devices.get(device_name)
         if profile is None:
             raise ConfigurationError(f"unknown device {device_name!r}")
         return profile
-
-    def register_signing_identity(self, device_name: str,
-                                  public_identity) -> None:
-        """Store the prover's public key for signed-report checking."""
-        self.profile(device_name).public_identity = public_identity
 
     # -- challenges ---------------------------------------------------------
 

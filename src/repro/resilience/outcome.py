@@ -1,0 +1,184 @@
+"""Degradation reporting: what actually happened to every exchange.
+
+A resilient protocol does not just succeed or fail -- it succeeds
+cleanly, succeeds after retries, gives up, or is cut short by a prover
+reset.  :class:`OutcomeReport` is the ledger that keeps those apart,
+feeding the fire-alarm availability metrics, fleet run telemetry and
+the ``repro faults`` CLI table.
+
+Outcome taxonomy (docs/resilience.md):
+
+``ok``
+    Report verified on the first transmission.
+``retried-ok``
+    Report verified, but only after at least one retransmission.
+``timed-out``
+    Every transmission went unanswered (or unverifiable) within the
+    retry budget, with no reset in the exchange window.
+``reset-aborted``
+    The exchange failed *and* a prover reset fell inside its window --
+    the failure is attributed to the brownout, not the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+OUTCOME_OK = "ok"
+OUTCOME_RETRIED_OK = "retried-ok"
+OUTCOME_TIMED_OUT = "timed-out"
+OUTCOME_RESET_ABORTED = "reset-aborted"
+
+#: the order tables and dicts render the taxonomy in
+OUTCOME_ORDER = (
+    OUTCOME_OK,
+    OUTCOME_RETRIED_OK,
+    OUTCOME_TIMED_OUT,
+    OUTCOME_RESET_ABORTED,
+)
+
+#: outcomes that delivered a verified report
+COMPLETED_OUTCOMES = frozenset((OUTCOME_OK, OUTCOME_RETRIED_OK))
+
+
+@dataclass
+class ExchangeOutcome:
+    """One classified exchange."""
+
+    device: str
+    nonce: str  # hex prefix, enough to join against traces
+    requested_at: float
+    concluded_at: float
+    attempts: int
+    classification: str
+    verdict: str = ""
+
+    @property
+    def completed(self) -> bool:
+        return self.classification in COMPLETED_OUTCOMES
+
+    @property
+    def elapsed(self) -> float:
+        return self.concluded_at - self.requested_at
+
+
+class OutcomeReport:
+    """Classifies exchanges and aggregates the degradation picture.
+
+    Wire :meth:`note_reset` to the device's reset hook (``FaultPlan``
+    and ``Scenario.build`` do this) so failures during a brownout
+    window are attributed to the reset rather than the channel.
+    """
+
+    def __init__(self) -> None:
+        self.exchanges: List[ExchangeOutcome] = []
+        self.resets: List[float] = []
+
+    # -- recording --------------------------------------------------------
+
+    def note_reset(self, time: float) -> None:
+        self.resets.append(time)
+
+    def record(
+        self,
+        *,
+        device: str,
+        nonce: bytes,
+        requested_at: float,
+        concluded_at: float,
+        attempts: int,
+        completed: bool,
+        verdict: str = "",
+    ) -> ExchangeOutcome:
+        """Classify and store one finished exchange."""
+        if completed:
+            classification = (
+                OUTCOME_OK if attempts <= 1 else OUTCOME_RETRIED_OK
+            )
+        elif self._reset_within(requested_at, concluded_at):
+            classification = OUTCOME_RESET_ABORTED
+        else:
+            classification = OUTCOME_TIMED_OUT
+        outcome = ExchangeOutcome(
+            device=device,
+            nonce=nonce.hex()[:8],
+            requested_at=requested_at,
+            concluded_at=concluded_at,
+            attempts=attempts,
+            classification=classification,
+            verdict=verdict,
+        )
+        self.exchanges.append(outcome)
+        return outcome
+
+    def _reset_within(self, start: float, end: float) -> bool:
+        return any(start <= at <= end for at in self.resets)
+
+    # -- aggregation ------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """``{classification: count}`` in taxonomy order, zero-free."""
+        tally: Dict[str, int] = {}
+        for outcome in self.exchanges:
+            tally[outcome.classification] = (
+                tally.get(outcome.classification, 0) + 1
+            )
+        return {
+            name: tally[name] for name in OUTCOME_ORDER if name in tally
+        }
+
+    @property
+    def total(self) -> int:
+        return len(self.exchanges)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.exchanges if o.completed)
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.exchanges:
+            return 0.0
+        return self.completed / len(self.exchanges)
+
+    def retries_total(self) -> int:
+        """Retransmissions summed over all exchanges."""
+        return sum(max(0, o.attempts - 1) for o in self.exchanges)
+
+    # -- folding ----------------------------------------------------------
+
+    def fold_into(self, availability) -> None:
+        """Attach the outcome histogram to an
+        :class:`~repro.apps.metrics.AvailabilityReport` so degradation
+        travels with the fire-alarm availability numbers."""
+        availability.exchange_outcomes = self.counts()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counts": self.counts(),
+            "total": self.total,
+            "completed": self.completed,
+            "completion_rate": self.completion_rate,
+            "retries": self.retries_total(),
+            "resets": len(self.resets),
+            "exchanges": [asdict(o) for o in self.exchanges],
+        }
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Human-readable summary table."""
+        lines = []
+        if title:
+            lines.append(title)
+        counts = self.counts()
+        width = max((len(n) for n in OUTCOME_ORDER), default=8)
+        for name in OUTCOME_ORDER:
+            if name in counts:
+                lines.append(f"  {name:<{width}} {counts[name]:>5}")
+        lines.append(
+            f"  {'total':<{width}} {self.total:>5}  "
+            f"(completion {self.completion_rate:.1%}, "
+            f"{self.retries_total()} retransmissions, "
+            f"{len(self.resets)} resets)"
+        )
+        return "\n".join(lines)

@@ -32,7 +32,14 @@ from repro.sim.memory import Memory, MemoryBlock, Region, MemoryImage
 from repro.sim.mpu import MemoryProtectionUnit, FaultPolicy
 from repro.sim.task import PeriodicTask, TaskStats
 from repro.sim.device import Device, SecureTimer
-from repro.sim.network import Channel, Endpoint, Message, DropAdversary
+from repro.sim.network import (
+    Channel,
+    ChannelFilter,
+    DropAdversary,
+    Endpoint,
+    FilterVerdict,
+    Message,
+)
 from repro.sim.trace import Trace, TraceRecord
 
 __all__ = [
@@ -57,6 +64,8 @@ __all__ = [
     "Device",
     "SecureTimer",
     "Channel",
+    "ChannelFilter",
+    "FilterVerdict",
     "Endpoint",
     "Message",
     "DropAdversary",

@@ -44,17 +44,33 @@ class SecureTimer:
         self.sim = sim
         self.name = name
         self.fired = 0
+        #: fractional clock-drift rate injected by a fault plan: a
+        #: timer asked to wait ``d`` actually waits ``d * (1 + drift)``.
+        #: 0.0 (the default) is the exact-clock fast path -- delays are
+        #: passed through untouched, so drift-free runs schedule
+        #: byte-identical events.
+        self.drift = 0.0
         self._pending: List[EventHandle] = []
 
+    def _skewed(self, delay: float) -> float:
+        if self.drift == 0.0:
+            return delay
+        return max(0.0, delay * (1.0 + self.drift))
+
     def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        """Fire ``callback`` at absolute time ``time``."""
+        """Fire ``callback`` at absolute time ``time`` (plus any injected
+        clock drift on the remaining wait)."""
+        if self.drift != 0.0:
+            remaining = max(0.0, time - self.sim.now)
+            time = self.sim.now + self._skewed(remaining)
         handle = self.sim.schedule_at(time, self._fire, callback)
         self._pending.append(handle)
         return handle
 
     def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
-        """Fire ``callback`` ``delay`` seconds from now."""
-        handle = self.sim.schedule(delay, self._fire, callback)
+        """Fire ``callback`` ``delay`` seconds from now (skewed by any
+        injected clock drift)."""
+        handle = self.sim.schedule(self._skewed(delay), self._fire, callback)
         self._pending.append(handle)
         return handle
 
@@ -121,6 +137,8 @@ class Device:
         self.attestation_key = attestation_key
         self.nic: Optional[Endpoint] = None
         self.malware_agents: List[Any] = []
+        self.reset_count = 0
+        self._reset_hooks: List[Callable[[], None]] = []
 
     # -- wiring ---------------------------------------------------------
 
@@ -149,6 +167,54 @@ class Device:
                         description="immutable firmware C")
         self.add_region("data", code_blocks, data_blocks, mutable=True,
                         description="volatile data D")
+
+    # -- resets -----------------------------------------------------------
+
+    def add_reset_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback run (in registration order) at the end of
+        every :meth:`reset` -- services use this to restore themselves
+        the way boot firmware would, and to drop volatile protocol
+        state (e.g. the attestation service's nonce cache)."""
+        self._reset_hooks.append(hook)
+
+    def reset(self) -> None:
+        """Brownout/restart the prover (the VRASED-style reset event).
+
+        What survives and what does not:
+
+        * **RAM image survives** -- memory contents (including any
+          malware payload) are untouched; this is a processor reset,
+          not a power-off long enough to decay DRAM.
+        * **Execution state is lost** -- every CPU process is killed
+          mid-flight (no ``done_signal`` fires) and pending NIC input
+          is discarded, including the waiters parked on ``rx_signal``.
+        * **MPU lock bits are cleared** -- the documented post-reset
+          state (see :meth:`~repro.sim.mpu.MemoryProtectionUnit.reset`).
+        * **The secure timer keeps running** -- it is dedicated
+          hardware with its own power budget (SeED's timeout circuit),
+          so scheduled triggers still fire.
+        * **Malware agents stay registered** -- they live in the RAM
+          image, and re-hook themselves exactly as real persistence
+          mechanisms would.
+
+        Registered reset hooks then run in order, reinstalling
+        services from "ROM".
+        """
+        self.cpu.reset()
+        self.mpu.reset()
+        if self.nic is not None:
+            self.nic.inbox.clear()
+            self.nic.rx_signal.clear()
+        self.reset_count += 1
+        self.trace.record(self.sim.now, "device.reset", self.name,
+                          count=self.reset_count)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "device.resets", "prover resets/brownouts injected",
+            ).inc()
+        for hook in list(self._reset_hooks):
+            hook()
 
     # -- malware hooks -----------------------------------------------------
 

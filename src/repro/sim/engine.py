@@ -245,6 +245,17 @@ class Signal:
         except ValueError:
             pass
 
+    def clear(self) -> int:
+        """Forget every current waiter without waking it.
+
+        Used by :meth:`repro.sim.device.Device.reset`: a brownout wipes
+        whatever software was blocked on the signal, so the waiters must
+        vanish rather than fire.  Returns the number removed.
+        """
+        count = len(self._waiters)
+        self._waiters = []
+        return count
+
     def fire(self, value: Any = None) -> int:
         """Wake all current waiters with ``value``.  Returns waiter count."""
         self.fire_count += 1

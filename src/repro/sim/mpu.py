@@ -138,6 +138,32 @@ class MemoryProtectionUnit:
             i for i in range(self.block_count) if self._locked[i]
         )
 
+    def reset(self) -> int:
+        """Clear every lock bit (device reset / brownout).
+
+        MPU configuration registers are volatile: after a reset **all
+        lock bits are cleared** and every block is writable again --
+        this is the documented post-reset state the resilience tests
+        pin down.  Open lock intervals are closed at the current time
+        so lock-hold accounting stays consistent, but -- unlike
+        :meth:`unlock` -- no ``release_signal`` fires and no unlock
+        ops are charged: nothing executed the release, the hardware
+        simply forgot.  Returns the number of bits cleared.
+        """
+        cleared = 0
+        for block_index in range(self.block_count):
+            if not self._locked[block_index]:
+                continue
+            self._locked[block_index] = False
+            since = self._locked_since[block_index]
+            self._locked_since[block_index] = None
+            if since is not None:
+                self.lock_history.append(
+                    LockInterval(block_index, since, self.sim.now)
+                )
+            cleared += 1
+        return cleared
+
     # -- enforcement ------------------------------------------------------
 
     def check_write(self, block_index: int, actor: str) -> bool:

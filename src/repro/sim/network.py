@@ -6,8 +6,15 @@ attestation responses.  This module provides:
 
 * :class:`Endpoint` -- a named mailbox with an arrival signal;
 * :class:`Channel` -- a bidirectional link with a latency model;
+* :class:`ChannelFilter` / :class:`FilterVerdict` -- the one in-path
+  filter protocol shared by adversaries and fault injectors;
 * :class:`DropAdversary` / :class:`DelayAdversary` / :class:`ReplayAdversary`
   -- in-path filters used by the failure-injection tests.
+
+Filters historically had three incompatible contracts (return ``None``
+to drop, a float to override the delay, or a list to duplicate); they
+now all speak :class:`FilterVerdict`, and :meth:`Channel.add_filter`
+wraps legacy callables in an adapter so old code keeps working.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.engine import Signal, Simulator
@@ -84,14 +91,101 @@ class Endpoint:
         return messages
 
 
+@dataclass(frozen=True)
+class FilterVerdict:
+    """What one filter decided about one in-flight message.
+
+    ``action`` is ``"deliver"``, ``"drop"`` or ``"replace"``.  On
+    deliver, ``delay`` (when not ``None``) *replaces* the delivery
+    delay accumulated so far and ``extra`` is added on top -- jitter
+    injectors use ``extra`` so they compose with whatever latency the
+    channel or an upstream filter chose.  On replace, ``deliveries``
+    is the full ``(delay, message)`` fan-out that substitutes for the
+    original delivery (the replay adversary's contract).
+    """
+
+    action: str = "deliver"
+    delay: Optional[float] = None
+    extra: float = 0.0
+    deliveries: Tuple[Tuple[float, "Message"], ...] = ()
+    #: substitute message delivered in place of the original (in-flight
+    #: tampering); ``None`` delivers the message unchanged
+    mutate: Optional["Message"] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("deliver", "drop", "replace"):
+            raise ConfigurationError(
+                f"unknown filter action {self.action!r}"
+            )
+        if self.extra < 0:
+            raise ConfigurationError("extra delay must be non-negative")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def deliver(cls, delay: Optional[float] = None, extra: float = 0.0,
+                mutate: Optional["Message"] = None) -> "FilterVerdict":
+        return cls("deliver", delay=delay, extra=extra, mutate=mutate)
+
+    @classmethod
+    def drop(cls) -> "FilterVerdict":
+        return cls("drop")
+
+    @classmethod
+    def replace(
+        cls, deliveries: Any
+    ) -> "FilterVerdict":
+        return cls("replace", deliveries=tuple(
+            (float(delay), message) for delay, message in deliveries
+        ))
+
+    @classmethod
+    def coerce(cls, raw: Any) -> "FilterVerdict":
+        """Normalize a legacy filter return value.
+
+        The pre-unification contracts: ``None`` dropped the message, a
+        list of ``(delay, message)`` pairs replaced the delivery, any
+        number replaced the delivery delay.
+        """
+        if isinstance(raw, FilterVerdict):
+            return raw
+        if raw is None:
+            return cls.drop()
+        if isinstance(raw, (list, tuple)):
+            return cls.replace(raw)
+        return cls.deliver(delay=float(raw))
+
+
+class ChannelFilter:
+    """Base class for in-path filters: ``__call__(Message) -> FilterVerdict``.
+
+    Adversaries and fault injectors both subclass this; anything else
+    handed to :meth:`Channel.add_filter` is wrapped in
+    :class:`LegacyFilterAdapter`.
+    """
+
+    def __call__(self, message: Message) -> FilterVerdict:
+        raise NotImplementedError
+
+
+class LegacyFilterAdapter(ChannelFilter):
+    """Adapts a legacy callable (None/number/list contract) to
+    :class:`FilterVerdict`."""
+
+    def __init__(self, fn: Callable[[Message], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, message: Message) -> FilterVerdict:
+        return FilterVerdict.coerce(self.fn(message))
+
+
 class Channel:
     """A link between named endpoints with latency and optional filters.
 
     ``latency`` may be a constant (seconds) or a callable
     ``latency(message) -> float``.  Filters see each message before
-    delivery and return the delivery delay, ``None`` to drop, or a list
-    of ``(delay, message)`` pairs to duplicate/mutate (used by the
-    replay adversary).
+    delivery and return a :class:`FilterVerdict`; legacy callables
+    using the old None/number/list contract are adapted transparently.
     """
 
     def __init__(
@@ -123,6 +217,8 @@ class Channel:
         return self.attach(Endpoint(self.sim, name))
 
     def add_filter(self, filter_fn: Callable[[Message], Any]) -> None:
+        if not isinstance(filter_fn, ChannelFilter):
+            filter_fn = LegacyFilterAdapter(filter_fn)
         self.filters.append(filter_fn)
 
     def _base_latency(self, message: Message) -> float:
@@ -146,8 +242,8 @@ class Channel:
         for filter_fn in self.filters:
             next_deliveries = []
             for delay, msg in deliveries:
-                verdict = filter_fn(msg)
-                if verdict is None:
+                verdict = FilterVerdict.coerce(filter_fn(msg))
+                if verdict.action == "drop":
                     self.dropped.append(msg)
                     if obs.enabled:
                         obs.metrics.counter(
@@ -159,10 +255,12 @@ class Channel:
                             self.sim.now, "net.drop", msg.src, msg_kind=msg.kind
                         )
                     continue
-                if isinstance(verdict, list):
-                    next_deliveries.extend(verdict)
-                else:
-                    next_deliveries.append((float(verdict), msg))
+                if verdict.action == "replace":
+                    next_deliveries.extend(verdict.deliveries)
+                    continue
+                chosen = delay if verdict.delay is None else verdict.delay
+                delivered = msg if verdict.mutate is None else verdict.mutate
+                next_deliveries.append((chosen + verdict.extra, delivered))
             deliveries = next_deliveries
         for delay, msg in deliveries:
             self.sim.schedule(delay, self.endpoints[msg.dst].deliver, msg)
@@ -178,7 +276,7 @@ class Channel:
         return message
 
 
-class DropAdversary:
+class DropAdversary(ChannelFilter):
     """Drops matching messages with a given probability.
 
     The SeED communication adversary: suppress attestation responses so
@@ -200,16 +298,16 @@ class DropAdversary:
         self.base_latency = base_latency
         self.dropped_count = 0
 
-    def __call__(self, message: Message) -> Optional[float]:
+    def __call__(self, message: Message) -> FilterVerdict:
         if self.kind is not None and message.kind != self.kind:
-            return self.base_latency
+            return FilterVerdict.deliver(delay=self.base_latency)
         if self.rng.random() < self.probability:
             self.dropped_count += 1
-            return None
-        return self.base_latency
+            return FilterVerdict.drop()
+        return FilterVerdict.deliver(delay=self.base_latency)
 
 
-class DelayAdversary:
+class DelayAdversary(ChannelFilter):
     """Adds a fixed extra delay to matching messages (request deferral
     in Figure 1's timeline)."""
 
@@ -223,13 +321,15 @@ class DelayAdversary:
         self.kind = kind
         self.base_latency = base_latency
 
-    def __call__(self, message: Message) -> float:
+    def __call__(self, message: Message) -> FilterVerdict:
         if self.kind is not None and message.kind != self.kind:
-            return self.base_latency
-        return self.base_latency + self.extra_delay
+            return FilterVerdict.deliver(delay=self.base_latency)
+        return FilterVerdict.deliver(
+            delay=self.base_latency + self.extra_delay
+        )
 
 
-class ReplayAdversary:
+class ReplayAdversary(ChannelFilter):
     """Records matching messages and re-injects each one ``copies``
     times after ``replay_delay`` -- the attack SeED's monotonic
     counters must defeat."""
@@ -247,13 +347,13 @@ class ReplayAdversary:
         self.base_latency = base_latency
         self.captured: List[Message] = []
 
-    def __call__(self, message: Message):
+    def __call__(self, message: Message) -> FilterVerdict:
         if message.kind != self.kind:
-            return self.base_latency
+            return FilterVerdict.deliver(delay=self.base_latency)
         self.captured.append(message)
         deliveries = [(self.base_latency, message)]
         for copy_index in range(1, self.copies + 1):
             deliveries.append(
                 (self.base_latency + copy_index * self.replay_delay, message)
             )
-        return deliveries
+        return FilterVerdict.replace(deliveries)

@@ -133,6 +133,7 @@ class Process:
         self._ready_since: float = 0.0
         self._completion: Optional[EventHandle] = None
         self._wake_event: Optional[EventHandle] = None
+        self._start_event: Optional[EventHandle] = None
         self._ready_seq: int = 0
         self._pending_value: Any = None
 
@@ -210,8 +211,51 @@ class CPU:
         """Create a process and make it ready after ``delay`` seconds."""
         proc = Process(self, name, body, priority)
         self.processes.append(proc)
-        self.sim.schedule(delay, self._start, proc)
+        proc._start_event = self.sim.schedule(delay, self._start, proc)
         return proc
+
+    def kill(self, proc: Process) -> bool:
+        """Terminate ``proc`` without running it further.
+
+        Models a power loss, not an exit: pending wake/completion
+        events are cancelled, the generator is closed, and -- unlike
+        :meth:`_finish` -- ``done_signal`` is *not* fired, because
+        nothing on a browned-out device gets to observe its own death.
+        Returns ``False`` if the process had already finished.
+        """
+        if proc.state is ProcState.DONE:
+            return False
+        if proc._start_event is not None:
+            proc._start_event.cancel()
+            proc._start_event = None
+        if proc._completion is not None:
+            if self.current is proc:
+                proc.cpu_time += self.sim.now - proc._run_start
+            proc._completion.cancel()
+            proc._completion = None
+        if proc._wake_event is not None:
+            proc._wake_event.cancel()
+            proc._wake_event = None
+        if proc._generator is not None:
+            proc._generator.close()
+        proc.state = ProcState.DONE
+        proc.atomic = False
+        proc.finished_at = self.sim.now
+        self._release(proc)
+        self._emit("killed", proc)
+        return True
+
+    def reset(self) -> int:
+        """Kill every live process (device brownout).
+
+        Finished processes stay in :attr:`processes` so CPU-time
+        accounting spans the reset.  Returns the number killed.
+        """
+        killed = 0
+        for proc in list(self.processes):
+            if self.kill(proc):
+                killed += 1
+        return killed
 
     def idle_fraction(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` during which no process held the CPU."""
@@ -233,6 +277,7 @@ class CPU:
     def _start(self, proc: Process) -> None:
         if proc.state is not ProcState.NEW:
             raise ProcessError(f"process {proc.name!r} already started")
+        proc._start_event = None
         proc._generator = proc._body(proc)
         proc.started_at = self.sim.now
         proc._became_ready(self.sim.now)

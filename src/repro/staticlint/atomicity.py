@@ -23,6 +23,8 @@ from repro.staticlint.registry import get_rule, rule
 _ALLOWED_YIELD_CALLS = ("Atomic", "Compute")
 #: scheduler entry points that enqueue interleaved events
 _SCHEDULER_CALLS = ("schedule", "schedule_at")
+#: message kinds that belong to the attestation protocol proper
+_ATT_KIND_PREFIX = "att_"
 
 
 def _atomic_marker(node: ast.AST) -> Optional[bool]:
@@ -127,3 +129,50 @@ def check_atomic_gap(ctx: ModuleContext) -> Iterable[Finding]:
                         f"yield inside the atomic section of "
                         f"{func.name}() cedes the CPU",
                     )
+
+
+@rule(
+    id="ra-naked-send",
+    family="atomicity",
+    severity=Severity.ERROR,
+    summary="att_* protocol message sent outside the retry layer",
+    rationale=(
+        "Attestation exchanges must survive the Section 3.3 "
+        "communication adversary: a challenge or report sent with a "
+        "bare endpoint.send() bypasses the retransmission/timeout "
+        "machinery and the prover's nonce-dedup cache, so one lost "
+        "datagram silently kills the exchange and a retransmitted one "
+        "double-measures.  All att_* traffic goes through "
+        "repro.ra.service (send_report / OnDemandVerifier)."
+    ),
+    hint=(
+        "route the message through repro.ra.service.send_report() or "
+        "the OnDemandVerifier retry layer instead of a raw .send()"
+    ),
+)
+def check_naked_send(ctx: ModuleContext) -> Iterable[Finding]:
+    if ctx.in_scope(ctx.config.retry_layer_allowlist):
+        return
+    this = get_rule("ra-naked-send")
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+        ):
+            continue
+        # kind is positional arg 2 on Endpoint.send(dst, kind, payload)
+        # and arg 3 on Channel.send(src, dst, kind, payload); scan all
+        # positional string constants so both spellings are caught
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and arg.value.startswith(_ATT_KIND_PREFIX)
+            ):
+                yield this.finding(
+                    ctx, node,
+                    f"raw .send() of {arg.value!r} bypasses the "
+                    "retry/dedup layer",
+                )
+                break

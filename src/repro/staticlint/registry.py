@@ -41,6 +41,13 @@ class LintConfig:
     scheduling_scope: Tuple[str, ...] = ("repro/sim/", "repro/ra/")
     #: the crypto package: DRBG only, never the random module
     crypto_scope: Tuple[str, ...] = ("repro/crypto/",)
+    #: the only modules allowed to send ``att_*`` protocol messages
+    #: directly -- everything else must go through the retry layer
+    #: (``send_report`` / ``OnDemandVerifier``)
+    retry_layer_allowlist: Tuple[str, ...] = (
+        "repro/ra/service.py",
+        "repro/resilience/",
+    )
     #: subset of rule ids to run (None = all registered rules)
     select: Optional[Tuple[str, ...]] = None
 

@@ -229,7 +229,7 @@ class SwarmAttestation:
         children_map = topology.spanning_tree_children(root=0)
         self.services = []
         for index, device in enumerate(topology.devices):
-            verifier.register_from_device(device)
+            verifier.enroll(device)
             self.services.append(
                 SwarmNodeService(
                     device,

@@ -154,7 +154,7 @@ class LisaAlphaAttestation:
         self.nodes = []
         for index, device in enumerate(topology.devices):
             if device.name not in verifier.devices:
-                verifier.register_from_device(device)
+                verifier.enroll(device)
             self.nodes.append(
                 LisaAlphaNode(
                     device,

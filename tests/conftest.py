@@ -44,7 +44,7 @@ def stack(sim) -> Stack:
     channel = Channel(sim, latency=0.002)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     driver = OnDemandVerifier(verifier, channel)
     return Stack(sim, device, channel, verifier, driver)
 
@@ -66,6 +66,6 @@ def make_stack(
     channel = Channel(sim, latency=latency)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     driver = OnDemandVerifier(verifier, channel)
     return Stack(sim, device, channel, verifier, driver)

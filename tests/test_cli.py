@@ -31,6 +31,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "DETECTED" in out and "undetected" in out
 
+    def test_faults(self, capsys):
+        assert main([
+            "faults", "--exchanges", "6", "--mechanisms", "smart",
+            "--plan", "loss=0.3@0:20;reset@4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "smart:" in out and "completion" in out
+        assert "WARNING" not in out  # no false compromised verdicts
+
+    def test_faults_rejects_bad_plan(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["faults", "--plan", "loss=banana"])
+
     def test_smarm(self, capsys):
         assert main(["smarm", "--blocks", "32", "--trials", "400"]) == 0
         out = capsys.readouterr().out

@@ -30,7 +30,7 @@ def triple_stack():
     channel = Channel(sim, latency=0.002)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
 
     erasmus = ErasmusService(
         device, period=5.0,

@@ -30,7 +30,7 @@ def rig():
     device = Device(sim, block_count=8, block_size=32)
     device.standard_layout()
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     return device, verifier
 
 

@@ -22,7 +22,7 @@ def erasmus_rig(period=2.0, history_size=64, scheduler=None,
     channel = Channel(sim, latency=0.002)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     config = MeasurementConfig(
         algorithm="blake2s", order="sequential", atomic=atomic,
         priority=50, normalize_mutable=True,

@@ -20,7 +20,7 @@ def coupled_rig(period=2.0):
     channel = Channel(sim, latency=0.002)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     service = ErasmusService(
         device, period=period,
         config=MeasurementConfig(atomic=True, priority=50,
@@ -88,7 +88,7 @@ class TestOnDemandCoupling:
         channel = Channel(sim, latency=0.002)
         device.attach_network(channel)
         verifier = Verifier(sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         service = ErasmusService(device, period=2.0)
         service.start()
         driver = OnDemandVerifier(verifier, channel,

@@ -72,7 +72,7 @@ class TestSeedClockDefense:
             channel.add_filter(filter_fn)
         device.attach_network(channel)
         verifier = Verifier(sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         seed_bytes = b"clock-defense"
         service = SeedService(device, seed_bytes, min_gap=3.0,
                               max_gap=5.0, trigger_count=4)

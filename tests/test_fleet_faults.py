@@ -1,0 +1,95 @@
+"""The fault-matrix campaign against its golden artifact.
+
+``fault_matrix_campaign`` sweeps the on-demand mechanisms across a
+clean channel, a loss burst, and loss plus a prover brownout.  The
+whole point of the seeded fault layer is that this sweep is
+*reproducible*: the canonical ``runs.jsonl`` projection must match the
+checked-in golden byte for byte (CI re-runs the same diff via
+``repro fleet run --campaign faults``), and the ``faults=""`` cells
+must be indistinguishable from a run that never imported the
+resilience layer at all."""
+
+import json
+from pathlib import Path
+
+from repro.fleet import canned_campaign, execute_run
+
+GOLDEN = Path(__file__).parent / "golden" / "fault_matrix_runs.jsonl"
+
+
+def run_matrix():
+    campaign = canned_campaign("faults", seed_count=1)
+    results = sorted(
+        (execute_run(spec) for spec in campaign.plan()),
+        key=lambda r: r.run_id,
+    )
+    return campaign, results
+
+
+class TestFaultMatrixGolden:
+    def test_runs_jsonl_matches_golden_byte_for_byte(self):
+        _, results = run_matrix()
+        produced = "\n".join(r.to_json_line() for r in results) + "\n"
+        assert produced == GOLDEN.read_text(encoding="utf-8")
+
+    def test_matrix_shape_and_degradation_content(self):
+        _, results = run_matrix()
+        assert len(results) == 9
+        assert all(r.status == "ok" for r in results)
+        by_faults = {}
+        for result in results:
+            by_faults.setdefault(result.spec.get("faults", ""), []).append(
+                result
+            )
+        # the clean cells are the byte-identity control: no outcome
+        # ledger, no retry telemetry -- nothing betrays that the
+        # resilience layer exists
+        for result in by_faults[""]:
+            assert not result.outcomes
+            line = json.loads(result.to_json_line())
+            assert "outcomes" not in line
+        # the lossy cells degrade gracefully: retries happened, yet
+        # every exchange still completed
+        for faults, cells in by_faults.items():
+            if not faults:
+                continue
+            for result in cells:
+                assert result.outcomes["completion_rate"] == 1.0
+                assert result.outcomes["retries"] > 0
+        # the brownout cells attribute their reset
+        for result in by_faults["loss=0.25@0:20;reset@4"]:
+            assert result.outcomes["resets"] == 1
+
+    def test_clean_cells_match_a_campaign_without_fault_axis(self):
+        """Dropping the ``faults`` axis entirely must reproduce the
+        ``faults=""`` cells exactly -- the opt-in guarantee, end to
+        end through the executor."""
+        campaign, results = run_matrix()
+        clean = {
+            r.run_id: r for r in results if not r.spec.get("faults", "")
+        }
+        from repro.fleet import CampaignSpec
+
+        control = CampaignSpec(
+            name=campaign.name,
+            base={
+                k: v for k, v in campaign.base.items()
+            },
+            axes={"mechanism": campaign.axes["mechanism"]},
+            seeds=campaign.seeds,
+        )
+        for spec in control.plan():
+            twin = execute_run(spec)
+            match = next(
+                r for r in clean.values()
+                if r.spec["mechanism"] == spec.mechanism
+            )
+            produced = json.loads(twin.to_json_line())
+            expected = json.loads(match.to_json_line())
+            # run ids (spec hashes) legitimately differ -- the control
+            # spec has no faults field swept; everything measured must
+            # be identical
+            for volatile in ("run_id", "spec"):
+                produced.pop(volatile)
+                expected.pop(volatile)
+            assert produced == expected

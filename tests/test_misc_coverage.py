@@ -51,7 +51,7 @@ class TestVerifierDetails:
         sim = Simulator()
         device = Device(sim, block_count=4, block_size=16)
         verifier = Verifier(sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         assert len(verifier.new_nonce(device.name, length=24)) == 24
         profile = verifier.profile(device.name)
         assert profile.outstanding_nonce is not None
@@ -64,7 +64,7 @@ class TestVerifierDetails:
         device = Device(sim, block_count=4, block_size=16)
         trace = Trace()
         verifier = Verifier(sim, trace=trace)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         report = AttestationReport.authenticate(
             device.attestation_key, device.name, []
         )
@@ -90,7 +90,7 @@ class TestInterRoundGap:
         channel = Channel(sim, latency=0.002)
         device.attach_network(channel)
         verifier = Verifier(sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         service = AttestationService(
             device,
             MeasurementConfig(order="shuffled", priority=50),

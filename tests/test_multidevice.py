@@ -20,7 +20,7 @@ def fleet(count=3):
                         block_size=32, seed=10 + index)
         device.standard_layout()
         device.attach_network(channel)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         SmartAttestation(device).install()
         devices.append(device)
     driver = OnDemandVerifier(verifier, channel)

@@ -44,7 +44,7 @@ class TestPublicApi:
         channel = Channel(sim)
         device.attach_network(channel)
         verifier = Verifier(sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         SmartAttestation(device).install()
         exchange = OnDemandVerifier(verifier, channel).request(device.name)
         sim.run(until=60)

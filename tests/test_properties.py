@@ -85,7 +85,7 @@ class TestMeasurementSoundness:
         device = fresh_device()
         record = measure_now(device, nonce=seed, order="shuffled")
         verifier = Verifier(device.sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         assert verifier.verify_record(record).value == "healthy"
 
     @settings(max_examples=20, deadline=None)

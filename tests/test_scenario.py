@@ -1,0 +1,185 @@
+"""Scenario.build: the one canonical wiring path.
+
+These tests pin the factory's contract -- validation of every axis,
+which pieces each mechanism kind populates, and the opt-in nature of
+the resilience layer (no retry, no faults => no extra machinery)."""
+
+import pytest
+
+from repro.core.tradeoff import ScenarioConfig
+from repro.errors import ConfigurationError
+from repro.malware.relocating import SelfRelocatingMalware
+from repro.malware.transient import TransientMalware
+from repro.ra.erasmus import ErasmusService
+from repro.ra.measurement import MeasurementConfig
+from repro.ra.service import AttestationService
+from repro.resilience import FaultPlan, OutcomeReport, RetryPolicy
+from repro.scenario import Scenario
+from repro.sim import Simulator, Trace
+from repro.units import MiB
+
+
+def small_config(**overrides) -> ScenarioConfig:
+    fields = dict(block_count=8, sim_block_size=MiB, horizon=20.0)
+    fields.update(overrides)
+    return ScenarioConfig(**fields)
+
+
+class TestQuickstart:
+    def test_default_build_attests_healthy(self):
+        scenario = Scenario.build(mechanism="smart", config=small_config())
+        exchange = scenario.driver.request(scenario.device.name)
+        scenario.run(until=60)
+        assert exchange.result.healthy
+
+
+class TestValidation:
+    def test_unknown_axes_raise(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.build(mechanism="quantum")
+        with pytest.raises(ConfigurationError):
+            Scenario.build(malware="ransomware", config=small_config())
+        with pytest.raises(ConfigurationError):
+            Scenario.build(workload="mining", config=small_config())
+        with pytest.raises(ConfigurationError):
+            Scenario.build(layout="exotic", config=small_config())
+        with pytest.raises(ConfigurationError):
+            Scenario.build(faults=42, config=small_config())
+
+    def test_mechanism_needs_a_network(self):
+        with pytest.raises(ConfigurationError):
+            Scenario.build(mechanism="smart", network=False)
+
+    def test_none_mechanism_without_network_is_fine(self):
+        scenario = Scenario.build(
+            mechanism="none", network=False, config=small_config()
+        )
+        assert scenario.channel is None
+        assert scenario.service is None
+        assert scenario.driver is None
+
+    def test_request_and_collect_are_kind_checked(self):
+        erasmus = Scenario.build(mechanism="erasmus", config=small_config())
+        with pytest.raises(ConfigurationError):
+            erasmus.schedule_request(1.0)
+        smart = Scenario.build(mechanism="smart", config=small_config())
+        with pytest.raises(ConfigurationError):
+            smart.schedule_collections(5.0, 2)
+
+
+class TestResilienceIsOptIn:
+    def test_bare_build_has_no_resilience_machinery(self):
+        scenario = Scenario.build(mechanism="smart", config=small_config())
+        assert scenario.retry is None
+        assert scenario.outcomes is None
+        assert scenario.fault_plan is None
+        assert scenario.injector is None
+        assert scenario.driver.retry is None
+
+    def test_empty_fault_string_stays_inert(self):
+        scenario = Scenario.build(
+            mechanism="smart", faults="", config=small_config()
+        )
+        assert scenario.fault_plan is None
+        assert scenario.injector is None
+        assert scenario.outcomes is None
+
+    def test_retry_implies_an_outcome_ledger(self):
+        scenario = Scenario.build(
+            mechanism="smart",
+            config=small_config(),
+            retry=RetryPolicy(timeout=0.5),
+        )
+        assert isinstance(scenario.outcomes, OutcomeReport)
+        assert scenario.driver.outcomes is scenario.outcomes
+
+    def test_explicit_ledger_is_used(self):
+        ledger = OutcomeReport()
+        scenario = Scenario.build(
+            mechanism="smart",
+            faults="loss=0.1",
+            config=small_config(),
+            outcomes=ledger,
+        )
+        assert scenario.outcomes is ledger
+
+    def test_reset_only_plan_installs_no_channel_filter(self):
+        scenario = Scenario.build(
+            mechanism="smart",
+            faults=FaultPlan(seed=b"r").reset(at=5.0),
+            config=small_config(),
+        )
+        assert scenario.injector is None
+        assert scenario.fault_plan is not None
+        assert isinstance(scenario.outcomes, OutcomeReport)
+        scenario.run()
+        assert scenario.outcomes.resets == [5.0]
+
+
+class TestWiring:
+    def test_workloads(self):
+        alarm = Scenario.build(
+            mechanism="none", workload="firealarm", config=small_config()
+        )
+        assert alarm.app is not None
+        assert len(alarm.tasks) == 1
+        writers = Scenario.build(
+            mechanism="none", workload="writers",
+            workload_options={"tasks": 2}, config=small_config(),
+        )
+        assert writers.app is None
+        assert len(writers.tasks) == 2
+
+    def test_malware(self):
+        transient = Scenario.build(
+            mechanism="none", malware="transient",
+            malware_options={"infect_at": 1.5, "dwell": 2.0},
+            config=small_config(),
+        )
+        assert isinstance(transient.malware, TransientMalware)
+        relocating = Scenario.build(
+            mechanism="none", malware="relocating",
+            malware_options={"rng_seed": 3}, config=small_config(),
+        )
+        assert isinstance(relocating.malware, SelfRelocatingMalware)
+
+    def test_smarm_carries_its_round_count(self):
+        scenario = Scenario.build(mechanism="smarm", config=small_config())
+        assert scenario.rounds == 13
+
+    def test_seed_mechanism_populates_the_seed_pieces(self):
+        scenario = Scenario.build(mechanism="seed", config=small_config())
+        assert scenario.seed_service is not None
+        assert scenario.seed_monitor is not None
+        assert scenario.service is scenario.seed_service
+        assert scenario.driver is None and scenario.collector is None
+
+    def test_measurement_config_override_on_demand(self):
+        override = MeasurementConfig(algorithm="sha256", atomic=True)
+        scenario = Scenario.build(
+            mechanism="smart",
+            config=small_config(),
+            measurement_config=override,
+        )
+        assert isinstance(scenario.service, AttestationService)
+        assert scenario.service.config is override
+
+    def test_measurement_config_override_self_measurement(self):
+        override = MeasurementConfig(algorithm="sha256")
+        scenario = Scenario.build(
+            mechanism="erasmus",
+            config=small_config(),
+            measurement_config=override,
+        )
+        assert isinstance(scenario.service, ErasmusService)
+        assert scenario.service.config is override
+
+    def test_injected_sim_trace_and_obs_are_honored(self):
+        sim = Simulator()
+        trace = Trace(max_records=10)
+        scenario = Scenario.build(
+            mechanism="smart", sim=sim, trace=trace, config=small_config()
+        )
+        assert scenario.sim is sim
+        assert scenario.device.trace is trace
+        assert scenario.channel.trace is trace

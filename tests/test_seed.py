@@ -23,7 +23,7 @@ def seed_rig(trigger_count=5, min_gap=2.0, max_gap=4.0, grace=1.0,
         channel.add_filter(filter_fn)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     shared_seed = b"shared-seed-material"
     service = SeedService(
         device, shared_seed, min_gap=min_gap, max_gap=max_gap,

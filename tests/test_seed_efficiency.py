@@ -30,7 +30,7 @@ class TestCommunicationOverhead:
         channel = Channel(sim, latency=0.002)
         device.attach_network(channel)
         verifier = Verifier(sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         service = SeedService(device, b"seed", min_gap=2.0, max_gap=3.0,
                               trigger_count=measurements)
         SeedMonitor(verifier, channel, device.name, b"seed",
@@ -48,7 +48,7 @@ class TestCommunicationOverhead:
         channel2 = Channel(sim2, latency=0.002)
         device2.attach_network(channel2)
         verifier2 = Verifier(sim2)
-        verifier2.register_from_device(device2)
+        verifier2.enroll(device2)
         SmartAttestation(device2).install()
         driver = OnDemandVerifier(verifier2, channel2)
         for index in range(measurements):
@@ -77,7 +77,7 @@ class TestDosResilience:
         channel = Channel(sim, latency=0.001)
         device.attach_network(channel)
         verifier = Verifier(sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         app = FireAlarmApp(device, period=0.5, sample_wcet=0.002,
                            priority=100)
 

@@ -66,8 +66,8 @@ class TestSignedProtocol:
         stack = make_stack()
         service = SmartAttestation(stack.device, signature=scheme)
         service.install()
-        stack.verifier.register_signing_identity(
-            stack.device.name, service.signing_identity.public()
+        stack.verifier.enroll(
+            stack.device.name, signing=service.signing_identity.public()
         )
         if forge:
             # A MITM that re-signs with its own key: the MAC would
@@ -123,8 +123,8 @@ class TestSignedProtocol:
         service = SmartAttestation(signed_stack.device,
                                    signature="rsa4096")
         service.install()
-        signed_stack.verifier.register_signing_identity(
-            signed_stack.device.name, service.signing_identity.public()
+        signed_stack.verifier.enroll(
+            signed_stack.device.name, signing=service.signing_identity.public()
         )
         signed = signed_stack.driver.request(signed_stack.device.name)
         signed_stack.sim.run(until=60)

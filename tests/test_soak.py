@@ -30,7 +30,7 @@ def run_soak(horizon=120.0):
     channel = Channel(sim, latency=0.003, trace=device.trace)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
 
     app = FireAlarmApp(device, period=0.5, sample_wcet=0.002,
                        priority=100,

@@ -31,7 +31,7 @@ def tytan_rig(block_count=16):
     channel = Channel(sim, latency=0.002)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     driver = OnDemandVerifier(verifier, channel)
     service = TytanAttestation(device, regions=["procA", "procB"])
     service.install()

@@ -23,7 +23,7 @@ def update_rig():
     channel = Channel(sim, latency=0.002)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     service = UpdateService(device)
     service.install()
     coordinator = UpdateCoordinator(verifier, channel)
