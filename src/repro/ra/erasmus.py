@@ -96,6 +96,8 @@ class ErasmusService:
         self.on_demand_served = 0
         self._counter = 0
         self._sent = 0
+        self._index = 0
+        self._hooked = False
         self.process: Optional[Process] = None
         self._od_pending: List[Message] = []
 
@@ -103,7 +105,15 @@ class ErasmusService:
 
     def start(self) -> Process:
         """Begin the self-measurement schedule; also start answering
-        collection requests if a NIC is attached."""
+        collection requests if a NIC is attached.  Registers a reset
+        hook: a brownout kills the loop process and wipes the NIC
+        listeners, so both are reinstalled from "ROM" afterwards."""
+        if not self._hooked:
+            self.device.add_reset_hook(self._on_reset)
+            self._hooked = True
+        return self._activate()
+
+    def _activate(self) -> Process:
         self.process = self.device.cpu.spawn(
             f"{self.device.name}.erasmus",
             self._measure_loop,
@@ -117,11 +127,20 @@ class ErasmusService:
                        kinds=frozenset({"att_request"}))
         return self.process
 
+    def _on_reset(self) -> None:
+        """Brownout: the history ring lives in RAM and survives; the
+        loop process and listeners do not.  Come back up mid-schedule
+        (an interrupted measurement is simply redone at its slot)."""
+        self.device.trace.record(
+            self.device.sim.now, "erasmus.reboot", self.device.name
+        )
+        self._activate()
+
     def _measure_loop(self, proc: Process):
         device = self.device
         sim = device.sim
-        index = 0
         while True:
+            index = self._index
             nominal = index * self.period
             start_at = nominal
             if self.scheduler is not None:
@@ -139,7 +158,7 @@ class ErasmusService:
             yield from mp.run(proc)
             self._store(mp.record)
             self.measurements_done += 1
-            index += 1
+            self._index += 1
 
     def _on_challenge(self, message: Message) -> None:
         """On-demand coupling: answer a Vrf challenge with a fresh,

@@ -89,6 +89,7 @@ class SeedService:
         self.fetches_served = 0
         self.reports_sent: List[AttestationReport] = []
         self._counter = 0
+        self._hooked = False
 
     def start(self) -> None:
         """Arm the secure timer for every trigger in the schedule.
@@ -99,8 +100,16 @@ class SeedService:
         for trigger_time in self.schedule:
             self.device.secure_timer.at(trigger_time, self._triggered)
         if self.serve_fetch:
-            listen(self.device.nic, self._on_fetch,
-                   kinds=frozenset({"seed_fetch"}))
+            # Device.reset wipes the NIC's rx_signal waiters; re-listen
+            # from the hook or the fetch path dies at the first brownout.
+            if not self._hooked:
+                self.device.add_reset_hook(self._listen_fetch)
+                self._hooked = True
+            self._listen_fetch()
+
+    def _listen_fetch(self) -> None:
+        listen(self.device.nic, self._on_fetch,
+               kinds=frozenset({"seed_fetch"}))
 
     def _on_fetch(self, message: Message) -> None:
         """Catch-up: resend a stored report the verifier never saw.
@@ -266,14 +275,19 @@ class SeedMonitor:
         missing slot by now (later pushes verified first), so the
         fetched report is verified *without* counter enforcement --
         its binding to the slot is the authenticated ``sent_counter``
-        the verifier asked for, and staleness is expected by
-        construction, so the clock defense is skipped too."""
+        (the payload's echoed counter is unauthenticated and ignored:
+        a replayed or forged reply can only ever land in the slot its
+        report was genuinely generated for, and only a slot we asked
+        about), and staleness is expected by construction, so the
+        clock defense is skipped too."""
         payload = message.payload or {}
         report = payload.get("report")
-        if report is None or report.device != self.device_name:
+        if not isinstance(report, AttestationReport):
             return
-        slot = self._slot_for(payload.get("counter"))
-        if slot is None or slot.received:
+        if report.device != self.device_name:
+            return
+        slot = self._slot_for(report.sent_counter)
+        if slot is None or slot.received or not slot.fetch_sent:
             return
         result = self.verifier.verify_report(report)
         slot.received = True

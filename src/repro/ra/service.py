@@ -448,7 +448,11 @@ class OnDemandVerifier:
             self._retransmit(exchange)
             return
         exchange.result = result
-        exchange.status = "verified"
+        # Concluding on an unverifiable report (budget exhausted, or no
+        # retry layer armed) delivered nothing trustworthy: the exchange
+        # is timed-out in the outcome taxonomy, not verified.
+        verified = result.verdict not in (Verdict.INVALID, Verdict.REPLAY)
+        exchange.status = "verified" if verified else "timed-out"
         self._outstanding.pop(exchange.nonce, None)
         obs = self.channel.sim.obs
         if obs.enabled:
@@ -469,7 +473,7 @@ class OnDemandVerifier:
                 requested_at=exchange.requested_at,
                 concluded_at=self.channel.sim.now,
                 attempts=exchange.attempts,
-                completed=True,
+                completed=verified,
                 verdict=exchange.result.verdict.value,
             )
         callback = getattr(exchange, "_on_result", None)

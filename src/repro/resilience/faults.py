@@ -152,6 +152,10 @@ class FaultPlan:
             name, _, value = head.partition("=")
             name = name.strip()
             start, end = cls._parse_window(when, term)
+            if name in ("reset", "drift") and end is not None:
+                raise ConfigurationError(
+                    f"{name} takes a single @time, not a window, in {term!r}"
+                )
             if name == "reset":
                 if value:
                     raise ConfigurationError(

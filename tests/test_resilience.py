@@ -54,6 +54,8 @@ class TestFaultPlanDsl:
             "explode=1",          # unknown term
             "reset=3@4",          # reset takes no value
             "reset",              # reset needs a time
+            "reset@6:10",         # reset is a point event, not a window
+            "drift=0.01@5:10",    # drift onset is a point event too
             "loss=abc@0:1",       # bad number
             "loss@0:1",           # missing value
             "loss=0.5@5:5",       # window must end after it starts

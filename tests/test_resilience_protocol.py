@@ -3,6 +3,8 @@ reset recovery, deterministic retry timelines, and the headline
 acceptance property -- every on-demand mechanism rides out a lossy
 channel plus a prover brownout."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.tradeoff import ScenarioConfig, standard_mechanisms
@@ -12,8 +14,10 @@ from repro.resilience import FaultPlan, RetryPolicy
 from repro.resilience.outcome import (
     OUTCOME_OK,
     OUTCOME_RETRIED_OK,
+    OUTCOME_TIMED_OUT,
 )
 from repro.scenario import Scenario
+from repro.sim.network import Message
 from repro.units import MiB
 
 
@@ -93,6 +97,39 @@ class TestRetransmissionAndDedup:
         assert scenario.outcomes.counts() == {OUTCOME_RETRIED_OK: 1}
 
 
+class TestUnverifiableConclusion:
+    def test_damaged_reports_conclude_timed_out_not_verified(self):
+        """Every report's MAC is shredded in flight (nonce intact, so
+        it still matches its exchange), so each attempt comes back
+        unverifiable: exhausting the retry budget on bad verdicts is a
+        timed-out exchange, never ok/retried-ok."""
+        scenario = Scenario.build(
+            mechanism="smart",
+            config=small_config(),
+            retry=RetryPolicy(
+                timeout=1.0, max_retries=2, max_timeout=2.0, seed=b"t12-r"
+            ),
+        )
+
+        def shred_mac(message):
+            if message.kind != "att_report":
+                return 0.002
+            report = message.payload
+            forged = dataclasses.replace(
+                report, auth_tag=bytes(len(report.auth_tag))
+            )
+            return [(0.002, dataclasses.replace(message, payload=forged))]
+
+        scenario.channel.add_filter(shred_mac)
+        scenario.schedule_request(1.0)
+        scenario.run()
+        (exchange,) = scenario.driver.exchanges
+        assert exchange.result.verdict in (Verdict.INVALID, Verdict.REPLAY)
+        assert exchange.status == "timed-out"
+        assert scenario.outcomes.counts() == {OUTCOME_TIMED_OUT: 1}
+        assert scenario.outcomes.completion_rate == 0.0
+
+
 class TestDeterministicBackoff:
     def _run(self):
         scenario = Scenario.build(
@@ -162,6 +199,56 @@ class TestResetRecovery:
         assert scenario.service.requests_handled == 1  # post-reset run
         assert scenario.outcomes.resets == [pytest.approx(reset_at)]
         assert scenario.outcomes.counts() == {OUTCOME_RETRIED_OK: 1}
+
+    def test_erasmus_survives_a_brownout(self):
+        """A brownout kills the self-measurement loop and wipes the
+        collect_request listener; the reset hook reinstalls both, so
+        post-reset collections still answer and the schedule resumes
+        where it left off."""
+        scenario = Scenario.build(
+            mechanism="erasmus",
+            faults=FaultPlan(seed=b"t10").reset(at=3.0),
+            config=small_config(erasmus_period=2.0, horizon=20.0),
+            retry=RetryPolicy(timeout=1.0, max_retries=3, seed=b"t10-r"),
+        )
+        scenario.schedule_collections(6.0, 2)  # both after the reset
+        scenario.run()
+        assert scenario.device.reset_count == 1
+        assert scenario.collector.missed == 0
+        assert len(scenario.collector.collections) == 2
+        assert all(
+            c.result.healthy for c in scenario.collector.collections
+        )
+        # the self-measurement schedule resumed after the brownout
+        assert any(r.t_end > 3.0 for r in scenario.service.history)
+
+    def test_seed_fetch_path_survives_a_brownout(self):
+        """The seed_fetch listener is volatile; the reset hook re-arms
+        it, so catch-up still recovers pushes lost after a reset."""
+        plan = (
+            FaultPlan(seed=b"t11")
+            .loss(1.0, match="seed_report")
+            .reset(at=1.0)
+        )
+        scenario = Scenario.build(
+            mechanism="seed",
+            faults=plan,
+            config=small_config(horizon=40.0),
+            seed_options={
+                "shared": b"seed-shared-0123",
+                "min_gap": 2.0,
+                "max_gap": 4.0,
+                "trigger_count": 3,
+                "serve_fetch": True,
+                "catch_up": True,
+            },
+        )
+        scenario.run()
+        assert scenario.device.reset_count == 1
+        monitor = scenario.seed_monitor
+        assert scenario.seed_service.fetches_served == 3
+        assert all(slot.received for slot in monitor.expected)
+        assert all(slot.result.healthy for slot in monitor.expected)
 
 
 class TestErasmusResilience:
@@ -240,6 +327,45 @@ class TestSeedCatchUp:
         scenario.run()
         assert scenario.seed_monitor.fetched == 0
         assert not any(s.received for s in scenario.seed_monitor.expected)
+
+    def test_replayed_reply_cannot_fill_a_foreign_slot(self):
+        """A forged seed_fetch_reply whose unauthenticated payload
+        counter points at slot 3 but whose report was generated for
+        slot 1 must never fill slot 3 -- the slot binding is the
+        MAC-covered sent_counter, not the echoed counter."""
+        plan = (
+            FaultPlan(seed=b"t9")
+            .loss(1.0, match="seed_report")
+            .loss(1.0, match="seed_fetch_reply")
+        )
+        scenario = Scenario.build(
+            mechanism="seed",
+            faults=plan,
+            config=small_config(horizon=40.0),
+            seed_options={
+                "shared": b"seed-shared-0123",
+                "min_gap": 2.0,
+                "max_gap": 4.0,
+                "trigger_count": 3,
+                "serve_fetch": True,
+                "catch_up": True,
+            },
+        )
+        scenario.run()
+        monitor = scenario.seed_monitor
+        # every push and every fetch reply was eaten
+        assert not any(slot.received for slot in monitor.expected)
+        genuine = scenario.seed_service.reports_sent[0]  # counter 1
+        target = monitor.expected[2]  # slot counter 3
+        monitor._on_fetch_reply(Message(
+            999, scenario.device.name, "vrf", "seed_fetch_reply",
+            {"counter": target.counter, "report": genuine},
+            scenario.sim.now,
+        ))
+        assert not target.received  # the forged binding was ignored
+        # the report can only land in the slot it was generated for
+        assert monitor.expected[0].received
+        assert monitor.expected[0].result.healthy
 
 
 def on_demand_mechanisms():
