@@ -142,6 +142,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="artifact output directory")
     run.add_argument("--resume", action="store_true",
                      help="skip runs already in the artifact directory")
+    run.add_argument(
+        "--incremental", action="store_true",
+        help=(
+            "reuse prior ok results whose run_id and source-tree "
+            "fingerprint both match (stricter than --resume, which "
+            "it subsumes)"
+        ),
+    )
 
     summ = fleet_sub.add_parser(
         "summarize", help="re-aggregate an existing runs.jsonl"
@@ -155,6 +163,20 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.staticlint.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    bench = sub.add_parser(
+        "bench", help="wall-clock regression bench suite (docs/performance.md)"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads for CI smoke runs")
+    bench.add_argument("--out", default=None,
+                       help="artifact path (default BENCH_<rev>.json)")
+    bench.add_argument("--against", default=None,
+                       help="baseline BENCH_*.json to compare with "
+                            "(exit 1 on regression)")
+    bench.add_argument("--threshold", type=float, default=0.20,
+                       help="regression threshold as a fraction "
+                            "(default 0.20 = 20%%)")
 
     obs = sub.add_parser(
         "obs", help="observability exports: trace / metrics"
@@ -271,8 +293,20 @@ def _run_fleet(args: argparse.Namespace) -> str:
     if args.timeout > 0:
         specs = [spec.with_overrides(timeout=args.timeout) for spec in specs]
     done = []
+    lines = []
+    fingerprint = None
     paths = fleet.artifact_paths(args.out, campaign.name)
-    if args.resume and paths.runs.exists():
+    if args.incremental:
+        # Incremental subsumes --resume: prior results are reused, but
+        # only when the manifest's source fingerprint still matches.
+        fingerprint = fleet.source_fingerprint()
+        store = fleet.RunResultStore(args.out, campaign.name)
+        done, specs_to_run = store.cached(specs, fingerprint)
+        lines.append(
+            f"incremental: {len(done)}/{len(specs)} cache hits "
+            f"({len(specs_to_run)} to run)"
+        )
+    elif args.resume and paths.runs.exists():
         done = fleet.read_results_jsonl(paths.runs)
         specs_to_run = fleet.pending_specs(specs, done)
     else:
@@ -283,7 +317,6 @@ def _run_fleet(args: argparse.Namespace) -> str:
         shard_size=args.shard_size,
         retries=args.retries,
     )
-    lines = []
     report = fleet.execute_campaign(
         specs_to_run, config, log=lines.append
     )
@@ -291,7 +324,9 @@ def _run_fleet(args: argparse.Namespace) -> str:
     merged = [r for r in done if r.run_id not in kept] + report.results
     wanted = {spec.run_id for spec in specs}
     merged = [r for r in merged if r.run_id in wanted]
-    paths = fleet.write_artifacts(args.out, campaign, merged, report)
+    paths = fleet.write_artifacts(
+        args.out, campaign, merged, report, code_fingerprint=fingerprint
+    )
     summary = fleet.summarize(merged, campaign=campaign.name)
     lines.extend([
         report.summary_line(),
@@ -434,6 +469,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.staticlint.cli import run_lint
 
         return run_lint(args)
+    if args.command == "bench":
+        # bench owns its exit code: 0 clean, 1 regression vs --against
+        from repro.perf.bench import run_bench
+
+        return run_bench(args)
     if args.command == "all":
         import repro.experiments as experiments
 

@@ -60,7 +60,9 @@ class ConsistencyAnalyzer:
     def __init__(self, memory: Memory) -> None:
         self.memory = memory
         self._benign = [
-            content_fingerprint(memory.benign_block(i))
+            # one-shot reference build at construction; never on a
+            # traversal hot path
+            content_fingerprint(memory.benign_block(i))  # repro: allow[perf-uncached-digest]
             for i in range(memory.block_count)
         ]
 

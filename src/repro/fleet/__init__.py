@@ -42,6 +42,7 @@ from repro.fleet.results import (
     write_artifacts,
     write_results_jsonl,
 )
+from repro.fleet.store import RunResultStore, source_fingerprint
 from repro.fleet.telemetry import (
     STATUS_ERROR,
     STATUS_OK,
@@ -64,6 +65,7 @@ __all__ = [
     "GroupSummary",
     "InjectedFailure",
     "RunResult",
+    "RunResultStore",
     "RunSpec",
     "STATUS_ERROR",
     "STATUS_OK",
@@ -83,6 +85,7 @@ __all__ = [
     "read_manifest",
     "read_results_jsonl",
     "run_one",
+    "source_fingerprint",
     "summarize",
     "verdict_histogram",
     "wall_time",

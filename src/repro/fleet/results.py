@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -59,14 +60,18 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def write_results_jsonl(path: Any, results: Iterable[RunResult]) -> int:
-    """Write deterministic JSONL; returns the number of lines."""
-    count = 0
+    """Write deterministic JSONL; returns the number of lines.
+
+    The whole file is serialized in memory and written with a single
+    buffered ``write`` -- thousands of per-line syscalls were a
+    measurable share of large-campaign artifact time, and one join
+    produces the identical bytes.
+    """
+    lines = [result.to_json_line() for result in results]
+    body = "\n".join(lines) + "\n" if lines else ""
     with open(path, "w", encoding="utf-8") as handle:
-        for result in results:
-            handle.write(result.to_json_line())
-            handle.write("\n")
-            count += 1
-    return count
+        handle.write(body)
+    return len(lines)
 
 
 def read_results_jsonl(path: Any) -> List[RunResult]:
@@ -112,6 +117,9 @@ class GroupSummary:
     detection_probabilities: List[float] = field(default_factory=list)
     #: summed sim-time metric snapshots (repro.obs) across ok runs
     telemetry_totals: Dict[str, float] = field(default_factory=dict)
+    #: runs served from the incremental artifact cache; volatile, so
+    #: excluded from the serialized summary (see :meth:`to_dict`)
+    cache_hits: int = 0
 
     @property
     def detection_rate(self) -> float:
@@ -144,9 +152,13 @@ class GroupSummary:
             if self.mp_durations
             else 0.0
         )
-        # raw per-run lists are bulky; the summary keeps distributions
+        # raw per-run lists are bulky; the summary keeps distributions.
+        # cache_hits is volatile (depends on what happened to be in the
+        # artifact cache), so a full run and an incremental re-run must
+        # serialize identical summaries.
         for bulky in ("detection_latencies", "mp_durations",
-                      "miss_rates", "detection_probabilities"):
+                      "miss_rates", "detection_probabilities",
+                      "cache_hits"):
             data.pop(bulky, None)
         return data
 
@@ -221,6 +233,8 @@ def summarize(
             group.timeouts += 1
             continue
         group.ok += 1
+        if result.cache_hit:
+            group.cache_hits += 1
         if result.detected:
             group.detected += 1
         if result.detection_latency is not None:
@@ -267,13 +281,23 @@ class CampaignManifest:
     wall_clock: float
     created_at: float
     artifacts: Dict[str, str]
+    #: fingerprint of the ``repro`` source tree that produced the
+    #: results -- the incremental cache refuses to reuse artifacts
+    #: written by different code (``""`` on manifests that predate it)
+    code_fingerprint: str = ""
+    #: how many of ``run_count`` were served from the artifact cache
+    cache_hits: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CampaignManifest":
-        return cls(**data)
+        # Tolerant of both older manifests (missing the newer optional
+        # fields) and newer ones (unknown keys are dropped), so mixed
+        # artifact directories stay readable.
+        known = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -302,6 +326,7 @@ def write_artifacts(
     results: Sequence[RunResult],
     execution: Optional[Any] = None,
     clock: Optional[ClockFn] = None,
+    code_fingerprint: Optional[str] = None,
 ) -> ArtifactPaths:
     """Write the full artifact set for one executed campaign.
 
@@ -310,6 +335,10 @@ def write_artifacts(
     consumes it.  ``clock`` overrides the telemetry wall clock that
     stamps the manifest's ``created_at`` (tests inject a fixed one;
     the stamp is volatile and never part of canonical artifacts).
+    ``code_fingerprint`` identifies the source tree that produced the
+    results; when ``None`` it is computed here, so *every* artifact
+    directory is eligible for a later ``--incremental`` pass, not only
+    ones written by an incremental run.
     """
     paths = artifact_paths(out_dir, campaign_spec.name)
     paths.root.mkdir(parents=True, exist_ok=True)
@@ -323,6 +352,11 @@ def write_artifacts(
         json.dumps(summary.to_dict(), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+
+    if code_fingerprint is None:
+        from repro.fleet.store import source_fingerprint
+
+        code_fingerprint = source_fingerprint()
 
     status_counts: Dict[str, int] = {}
     for result in ordered:
@@ -344,6 +378,8 @@ def write_artifacts(
             "summary_json": paths.summary_json.name,
             "summary_txt": paths.summary_txt.name,
         },
+        code_fingerprint=code_fingerprint,
+        cache_hits=sum(1 for result in ordered if result.cache_hit),
     )
     paths.manifest.write_text(
         json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n",

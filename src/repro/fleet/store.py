@@ -1,0 +1,116 @@
+"""Incremental run-result store: reuse artifacts instead of re-simulating.
+
+Fleet runs are deterministic twice over: a :class:`~repro.fleet.campaign.RunSpec`'s
+``run_id`` is a content hash of every parameter that can influence the
+simulation, and ``runs.jsonl`` holds only the deterministic projection
+of each result.  Re-executing an unchanged spec with unchanged code
+therefore reproduces the exact line already on disk -- pure wall-clock
+waste at campaign scale.  ``repro fleet run --incremental`` short-cuts
+that: a prior artifact directory acts as a cache, and a planned run is
+*skipped* when
+
+* a result with the same ``run_id`` exists in ``runs.jsonl``,
+* that result is ``ok`` (failures and timeouts are always retried), and
+* the manifest's ``code_fingerprint`` matches the current source tree
+  (:func:`source_fingerprint`), so any edit under ``repro/`` -- timing
+  model, mechanism logic, serialization -- busts the whole cache.
+
+Reused results are marked ``cache_hit=True``, which is *volatile*
+telemetry (excluded from ``runs.jsonl``): an incremental pass over an
+unchanged campaign rewrites byte-identical canonical artifacts.
+
+This is the deliberately conservative cousin of ``--resume``: resume
+trusts any prior artifacts for the same run ids; incremental also
+demands the code that wrote them is the code that would re-run them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.campaign import RunSpec
+from repro.fleet.telemetry import RunResult
+
+
+def source_fingerprint(root: Optional[Any] = None) -> str:
+    """SHA-256 over the ``repro`` package sources (paths + contents).
+
+    Deterministic across machines: files are visited in sorted
+    relative-path order and separated by NUL bytes so neither
+    concatenation ambiguity nor directory enumeration order can alias
+    two different trees.  ``root`` overrides the tree for tests.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    else:
+        root = Path(root)
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class RunResultStore:
+    """Read-side of an artifact directory, indexed by ``run_id``.
+
+    Loads ``runs.jsonl`` and the manifest (if present) once at
+    construction; :meth:`cached` then partitions a plan into reusable
+    results and specs that still need to execute.
+    """
+
+    def __init__(self, out_dir: Any, campaign_name: str) -> None:
+        # Deferred import: results.py imports this module inside
+        # write_artifacts, so the top-level dependency must point one
+        # way only.
+        from repro.fleet.results import (
+            artifact_paths,
+            read_manifest,
+            read_results_jsonl,
+        )
+
+        self.paths = artifact_paths(out_dir, campaign_name)
+        self.results: Dict[str, RunResult] = {}
+        self.code_fingerprint: str = ""
+        if self.paths.runs.exists():
+            for result in read_results_jsonl(self.paths.runs):
+                self.results[result.run_id] = result
+        if self.paths.manifest.exists():
+            manifest = read_manifest(self.paths.manifest)
+            self.code_fingerprint = manifest.code_fingerprint
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def cached(
+        self, specs: Sequence[RunSpec], fingerprint: str
+    ) -> Tuple[List[RunResult], List[RunSpec]]:
+        """Partition ``specs`` into ``(hits, pending)``.
+
+        ``hits`` are prior *ok* results for specs in the plan, each
+        marked ``cache_hit=True``; ``pending`` is everything that must
+        run.  An empty store, a manifest written by different code, or
+        a manifest predating fingerprints (``""``) yields zero hits.
+        """
+        if (
+            not self.results
+            or not fingerprint
+            or self.code_fingerprint != fingerprint
+        ):
+            return [], list(specs)
+        hits: List[RunResult] = []
+        pending: List[RunSpec] = []
+        for spec in specs:
+            result = self.results.get(spec.run_id)
+            if result is not None and result.ok:
+                result.cache_hit = True
+                hits.append(result)
+            else:
+                pending.append(spec)
+        return hits, pending

@@ -1,0 +1,406 @@
+"""``repro bench``: seeded micro/macro performance regression harness.
+
+The simulation is deterministic, so its *results* never need
+benchmarking -- what regresses silently is wall clock: the engine hot
+loop, the measurement traversal, artifact serialization.  This module
+times a fixed suite of seeded workloads and emits a ``BENCH_<rev>.json``
+artifact that CI archives per commit and diffs against the committed
+baseline (``benchmarks/baseline/BENCH_seed.json``).
+
+Every bench reports a ``primary`` metric with a ``direction``
+(``"lower"`` or ``"higher"`` = better); :func:`compare` flags any
+primary metric that is more than ``threshold`` (default 20%) worse
+than the baseline.  Wall-clock reads go through
+:func:`repro.fleet.clock.perf_time` -- the one allowlisted wall-clock
+source -- because bench numbers are telemetry, never simulation state.
+
+Timing discipline: each workload is repeated and the **best** time is
+kept (minimum over repeats estimates the noise floor of a shared CI
+box far better than the mean).  Quick mode (``--quick``) shrinks the
+workloads for CI smoke use; quick artifacts are only comparable to
+quick baselines, so the flag is recorded in the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.fleet.clock import perf_time, wall_time
+
+BENCH_VERSION = 1
+DEFAULT_THRESHOLD = 0.20
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Best (minimum) wall-clock seconds over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = perf_time()
+        fn()
+        elapsed = perf_time() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``"dev"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "dev"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "dev"
+
+
+# ---------------------------------------------------------------------------
+# Micro benches
+# ---------------------------------------------------------------------------
+
+
+def bench_block_hash(quick: bool) -> Dict[str, Dict[str, Any]]:
+    """Per-algorithm audit-hash + HMAC throughput over benign blocks."""
+    from repro.crypto.hmac import Hmac
+    from repro.ra.report import audit_hash
+    from repro.sim.memory import benign_fill
+
+    block_size = 4096
+    blocks = 64 if quick else 256
+    contents = [benign_fill(i, block_size, seed=7) for i in range(blocks)]
+    key = bytes(range(32))
+    out: Dict[str, Dict[str, Any]] = {}
+    for algorithm in ("sha256", "sha512", "blake2b", "blake2s"):
+        def work() -> None:
+            mac = Hmac(key, algorithm)
+            for index, content in enumerate(contents):
+                audit_hash(content)
+                mac.update(content)
+            mac.digest()
+
+        best = _best_of(work, repeats=3 if quick else 5)
+        out[f"block_hash.{algorithm}"] = {
+            "us_per_block": best * 1e6 / blocks,
+            "blocks": blocks,
+            "block_size": block_size,
+            "primary": "us_per_block",
+            "direction": "lower",
+        }
+    return out
+
+
+def bench_engine_events(quick: bool) -> Dict[str, Dict[str, Any]]:
+    """Raw event-loop throughput: schedule + fire no-op events."""
+    from repro.sim.engine import Simulator
+
+    count = 20_000 if quick else 100_000
+
+    def work() -> None:
+        sim = Simulator()
+        for index in range(count):
+            sim.schedule(index * 1e-6, _noop)
+        sim.run()
+
+    best = _best_of(work, repeats=3)
+    return {
+        "engine.events": {
+            "events_per_sec": count / best,
+            "events": count,
+            "primary": "events_per_sec",
+            "direction": "higher",
+        }
+    }
+
+
+def _noop() -> None:
+    return None
+
+
+def bench_digest_cache(quick: bool) -> Dict[str, Dict[str, Any]]:
+    """Hit-path lookup throughput on a warmed cache."""
+    from repro.perf.digest_cache import DigestCache
+
+    entries = 512
+    lookups = 50_000 if quick else 200_000
+    cache = DigestCache(capacity=entries)
+    content = bytes(64)
+    for index in range(entries):
+        cache.store((index, 0, "blake2s", b"k" * 8), content, b"a" * 8)
+    keys = [(i % entries, 0, "blake2s", b"k" * 8) for i in range(lookups)]
+
+    def work() -> None:
+        lookup = cache.lookup
+        for key in keys:
+            lookup(key)
+
+    best = _best_of(work, repeats=3)
+    return {
+        "digest_cache.lookup": {
+            "lookups_per_sec": lookups / best,
+            "lookups": lookups,
+            "primary": "lookups_per_sec",
+            "direction": "higher",
+        }
+    }
+
+
+def bench_trace_serialize(quick: bool, workdir: Path) -> Dict[str, Dict[str, Any]]:
+    """JSONL export throughput of a populated trace (single buffered
+    write; this bench guards the batching in :meth:`Trace.to_jsonl`)."""
+    from repro.sim.trace import Trace
+
+    records = 20_000 if quick else 100_000
+    trace = Trace()
+    for index in range(records):
+        trace.record(index * 1e-3, "compute", "bench", duration=1e-3)
+    target = workdir / "bench_trace.jsonl"
+
+    def work() -> None:
+        trace.to_jsonl(target)
+
+    best = _best_of(work, repeats=3)
+    target.unlink(missing_ok=True)
+    return {
+        "trace.serialize": {
+            "records_per_sec": records / best,
+            "records": records,
+            "primary": "records_per_sec",
+            "direction": "higher",
+        }
+    }
+
+
+# ---------------------------------------------------------------------------
+# Macro benches
+# ---------------------------------------------------------------------------
+
+
+def bench_erasmus_cache(quick: bool) -> Dict[str, Dict[str, Any]]:
+    """The headline macro bench: ERASMUS self-measurement over unchanged
+    memory, digest cache off vs on.
+
+    50 periods (10 in quick mode) of a 256-block prover with no malware
+    and no workload writes -- the steady state the cache is built for.
+    Reports the off/on speedup and the achieved hit rate; the golden
+    equality of the two runs' traces is pinned separately by the test
+    suite, so this bench only times them.
+    """
+    from repro.core.tradeoff import ScenarioConfig
+    from repro.scenario import Scenario
+
+    periods = 10 if quick else 50
+    block_count = 64 if quick else 256
+    period = 2.0
+    horizon = 2.0 + period * periods
+    config = ScenarioConfig(
+        block_count=block_count,
+        erasmus_period=period,
+        erasmus_collect_at=horizon - 1.0,
+        horizon=horizon,
+    )
+
+    def run(cache: bool) -> Any:
+        scenario = Scenario.build(
+            "erasmus", digest_cache=cache, config=config
+        )
+        start = perf_time()
+        scenario.sim.run(until=horizon)
+        return perf_time() - start, scenario
+
+    repeats = 2 if quick else 3
+    best_off = min(run(False)[0] for _ in range(repeats))
+    best_on = float("inf")
+    scenario_on = None
+    for _ in range(repeats):
+        elapsed, scenario = run(True)
+        if elapsed < best_on:
+            best_on, scenario_on = elapsed, scenario
+    stats = scenario_on.device.digest_cache.stats()
+    return {
+        "erasmus.digest_cache": {
+            "speedup": best_off / best_on,
+            "off_ms": best_off * 1e3,
+            "on_ms": best_on * 1e3,
+            "hit_rate": stats["hit_rate"],
+            "periods": periods,
+            "block_count": block_count,
+            "primary": "speedup",
+            "direction": "higher",
+        }
+    }
+
+
+def bench_fleet_incremental(
+    quick: bool, workdir: Path
+) -> Dict[str, Dict[str, Any]]:
+    """Full campaign run vs incremental re-run over unchanged code."""
+    from repro import fleet
+
+    campaign = fleet.canned_campaign("faults", seed_count=1)
+    specs = campaign.plan()
+    if quick:
+        specs = specs[:3]
+    out_dir = workdir / "bench-fleet"
+    config = fleet.ExecutorConfig(mode="serial")
+    fingerprint = fleet.source_fingerprint()
+
+    start = perf_time()
+    report = fleet.execute_campaign(specs, config)
+    fleet.write_artifacts(
+        out_dir, campaign, report.results, report,
+        code_fingerprint=fingerprint,
+    )
+    full = perf_time() - start
+
+    start = perf_time()
+    store = fleet.RunResultStore(out_dir, campaign.name)
+    hits, pending = store.cached(specs, fingerprint)
+    report2 = fleet.execute_campaign(pending, config)
+    fleet.write_artifacts(
+        out_dir, campaign, hits + report2.results, report2,
+        code_fingerprint=fingerprint,
+    )
+    incremental = perf_time() - start
+
+    return {
+        "fleet.incremental": {
+            "speedup": full / incremental if incremental else float("inf"),
+            "hit_fraction": len(hits) / len(specs) if specs else 0.0,
+            "full_ms": full * 1e3,
+            "incremental_ms": incremental * 1e3,
+            "runs": len(specs),
+            "primary": "hit_fraction",
+            "direction": "higher",
+        }
+    }
+
+
+# ---------------------------------------------------------------------------
+# Suite driver / comparison
+# ---------------------------------------------------------------------------
+
+
+def run_suite(quick: bool = False, workdir: Optional[Any] = None) -> Dict[str, Any]:
+    """Execute every bench; returns the artifact dictionary."""
+    import tempfile
+
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-bench-")
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    benches: Dict[str, Dict[str, Any]] = {}
+    benches.update(bench_block_hash(quick))
+    benches.update(bench_engine_events(quick))
+    benches.update(bench_digest_cache(quick))
+    benches.update(bench_trace_serialize(quick, workdir))
+    benches.update(bench_erasmus_cache(quick))
+    benches.update(bench_fleet_incremental(quick, workdir))
+    return {
+        "version": BENCH_VERSION,
+        "revision": git_revision(),
+        "quick": quick,
+        "created_at": wall_time(),
+        "benches": benches,
+    }
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Dict[str, Any]]:
+    """Primary-metric comparison; one row per bench present in both.
+
+    A row is a regression when the current primary metric is more than
+    ``threshold`` worse than the baseline in the bench's direction.
+    Benches missing from either side are skipped (the suite may grow).
+    """
+    rows: List[Dict[str, Any]] = []
+    base_benches = baseline.get("benches", {})
+    for name, bench in sorted(current.get("benches", {}).items()):
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        metric = bench.get("primary")
+        direction = bench.get("direction", "higher")
+        if metric is None or metric not in bench or metric not in base:
+            continue
+        cur_value = float(bench[metric])
+        base_value = float(base[metric])
+        if base_value == 0:
+            continue
+        ratio = cur_value / base_value
+        if direction == "lower":
+            regressed = ratio > 1.0 + threshold
+        else:
+            regressed = ratio < 1.0 / (1.0 + threshold)
+        rows.append({
+            "bench": name,
+            "metric": metric,
+            "direction": direction,
+            "baseline": base_value,
+            "current": cur_value,
+            "ratio": ratio,
+            "regressed": regressed,
+        })
+    return rows
+
+
+def render_comparison(rows: List[Dict[str, Any]]) -> str:
+    lines = [
+        f"{'bench':<24} {'metric':<16} {'baseline':>12} "
+        f"{'current':>12} {'ratio':>7}  status"
+    ]
+    for row in rows:
+        status = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"{row['bench']:<24} {row['metric']:<16} "
+            f"{row['baseline']:>12.4g} {row['current']:>12.4g} "
+            f"{row['ratio']:>6.2f}x  {status}"
+        )
+    return "\n".join(lines)
+
+
+def run_bench(args: Any) -> int:
+    """CLI entry: run the suite, write the artifact, optionally compare.
+
+    Exit codes: 0 clean, 1 regression against ``--against``.
+    """
+    artifact = run_suite(quick=args.quick)
+    out_path = Path(
+        args.out if args.out else f"BENCH_{artifact['revision']}.json"
+    )
+    out_path.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+    print(f"bench suite ({'quick' if args.quick else 'full'}) "
+          f"rev {artifact['revision']} -> {out_path}")
+    for name, bench in sorted(artifact["benches"].items()):
+        metric = bench["primary"]
+        print(f"  {name:<24} {metric} = {bench[metric]:.4g}")
+
+    if args.against:
+        with open(args.against, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        if bool(baseline.get("quick")) != args.quick:
+            print(
+                "note: quick/full mismatch against baseline; "
+                "comparison is indicative only"
+            )
+        rows = compare(current=artifact, baseline=baseline,
+                       threshold=args.threshold)
+        print()
+        print(render_comparison(rows))
+        if any(row["regressed"] for row in rows):
+            print(f"\nFAIL: regression beyond "
+                  f"{args.threshold:.0%} threshold")
+            return 1
+    return 0

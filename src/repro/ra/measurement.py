@@ -37,6 +37,7 @@ from repro.ra.locking import LockingPolicy, NoLock
 from repro.ra.report import MeasurementRecord, audit_hash
 from repro.sim.device import Device
 from repro.sim.process import Atomic, Compute, Process
+from repro.sim.trace import TraceRecord
 
 
 @dataclass
@@ -217,20 +218,198 @@ class MeasurementProcess:
         zero_block = b"\x00" * device.memory.block_size
         data_copy = []
 
-        def is_mutable(block_index: int) -> bool:
-            region = device.memory.region_of(block_index)
-            return region is not None and region.mutable
+        # Regions are static for the lifetime of a measurement, so the
+        # per-block mutability answers are precomputed once by marking
+        # each mutable region's range into a flat array -- no per-block
+        # region-table scan on the traversal hot loop.
+        mutable_lookup = [False] * device.block_count
+        if config.normalize_mutable or config.attach_mutable:
+            for marked_region in device.memory.regions.values():
+                if marked_region.mutable:
+                    for marked_index in marked_region.blocks():
+                        mutable_lookup[marked_index] = True
 
         def digest_content(block_index: int, content: bytes) -> bytes:
-            if config.normalize_mutable and is_mutable(block_index):
+            if config.normalize_mutable and mutable_lookup[block_index]:
                 return zero_block
-            if config.attach_mutable and is_mutable(block_index):
+            if config.attach_mutable and mutable_lookup[block_index]:
                 # Ship the measured data verbatim (Section 2.3's
                 # "accompanied by a copy of D").
                 data_copy.append((block_index, content))
             return content
 
-        for position, block_index in enumerate(order):
+        # Digest-cache plumbing (None = seed-identical path).  Hits
+        # reuse the frozen content snapshot and audit hash for an
+        # unchanged (block, generation) and mark the Compute as
+        # coalescible; the HMAC stream and sim-time charges are
+        # untouched either way.
+        memory = device.memory
+        cache = device.digest_cache
+        if cache is not None:
+            generations = memory.generations
+            algorithm = config.algorithm
+            key_fp = device.key_fingerprint
+            hits_before, misses_before = cache.hits, cache.misses
+
+        # A run of consecutive cache hits can bypass the generator/
+        # event-queue round-trip entirely: per hit the engine proves no
+        # event (hence no preemption, no interleaved writer) can land
+        # inside the compute window (Simulator.can_coalesce), so the
+        # clock is advanced inline with identical trace records, block
+        # timestamps and CPU accounting.  Requires the inert NoLock
+        # policy -- real locking policies have per-block MPU side
+        # effects that must keep their own Compute yields -- and no
+        # span instrumentation (spans want one begin/end pair per
+        # yield-delimited block).
+        inline_ok = (
+            cache is not None
+            and spans is None
+            and type(self.policy) is NoLock
+        )
+        # Burst mode tightens the inline path further: when no malware
+        # agent is registered, nothing inside a hit run can schedule an
+        # event or observe the clock, so the engine's coalesce window
+        # is computed ONCE per burst (instead of per block) and
+        # ``sim.now``/``_seq``/counters are written back in one batch.
+        # The per-step float accumulation (``now += d``) matches
+        # ``coalesce_advance`` exactly, and intermediate ``_seq`` values
+        # are unobservable, so traces stay byte-identical.  Ring-buffer
+        # traces need :meth:`Trace.record`'s dropped-count bookkeeping,
+        # hence the ``max_records is None`` gate on the direct-append.
+        trace = device.trace
+        burst_ok = inline_ok and trace.max_records is None
+        normalize = config.normalize_mutable
+        plain_content = not (normalize or config.attach_mutable)
+        records_append = trace.records.append
+        mac_update = mac.update
+        cache_lookup = cache.lookup if cache is not None else None
+        proc_name = proc.name
+        region_name = config.region or ""
+        notify = config.notify_malware
+        total = len(order)
+        position = 0
+        looked_up = False  # cache_key/cached already hold order[position]
+        while position < total:
+            block_index = order[position]
+            if not looked_up:
+                cached = None
+                if cache is not None:
+                    cache_key = (
+                        block_index, generations[block_index],
+                        algorithm, key_fp,
+                    )
+                    cached = cache_lookup(cache_key)
+            looked_up = False
+            if (
+                cached is not None
+                and inline_ok
+                and sim.can_coalesce(block_hash_time)
+            ):
+                if burst_ok and not device.malware_agents:
+                    # can_coalesce just proved now + d is inside both
+                    # bounds; freeze them for the whole burst.  The
+                    # cache's OrderedDict is driven directly here (same
+                    # get / move_to_end / counter discipline as
+                    # DigestCache.lookup) to shed a call per block, and
+                    # the running clock / CPU-time / hit counters live
+                    # in locals -- identical one-add-per-block float
+                    # sequences, written back before anything else can
+                    # observe them.
+                    head = sim._live_head()
+                    head_time = head.time if head is not None else None
+                    until_bound = sim._until
+                    entries_get = cache._entries.get
+                    entries_move = cache._entries.move_to_end
+                    now = sim.now
+                    cpu_time = proc.cpu_time
+                    steps = 0
+                    burst_hits = 0
+                    while True:
+                        content, audit = cached
+                        block_times[block_index] = now
+                        block_hashes[block_index] = audit
+                        if plain_content:
+                            mac_update(content)
+                        elif normalize:
+                            mac_update(
+                                zero_block if mutable_lookup[block_index]
+                                else content
+                            )
+                        else:
+                            mac_update(digest_content(block_index, content))
+                        records_append(TraceRecord(
+                            now, "compute", proc_name,
+                            {"duration": block_hash_time},
+                        ))
+                        now += block_hash_time
+                        cpu_time += block_hash_time
+                        steps += 1
+                        position += 1
+                        # notify_block_measured is skipped: no agents
+                        # are registered, so it would be a no-op.
+                        if position >= total:
+                            break
+                        block_index = order[position]
+                        cache_key = (
+                            block_index, generations[block_index],
+                            algorithm, key_fp,
+                        )
+                        cached = entries_get(cache_key)
+                        if cached is None:
+                            cache.misses += 1
+                            looked_up = True
+                            break
+                        entries_move(cache_key)
+                        burst_hits += 1
+                        target = now + block_hash_time
+                        if (
+                            until_bound is not None
+                            and target > until_bound
+                        ) or (
+                            head_time is not None and target >= head_time
+                        ):
+                            looked_up = True
+                            break
+                    sim.now = now
+                    sim._seq += steps
+                    proc.cpu_time = cpu_time
+                    cache.hits += burst_hits
+                    if sim._m_scheduled is not None:
+                        sim._m_scheduled.inc(steps)
+                        sim._m_fired.inc(steps)
+                    continue
+                while True:
+                    content, audit = cached
+                    block_times[block_index] = sim.now
+                    block_hashes[block_index] = audit
+                    mac.update(digest_content(block_index, content))
+                    trace.record(
+                        sim.now, "compute", proc.name,
+                        duration=block_hash_time,
+                    )
+                    sim.coalesce_advance(block_hash_time)
+                    proc.cpu_time += block_hash_time
+                    position += 1
+                    if notify:
+                        device.notify_block_measured(
+                            position, total, interruptible, region_name
+                        )
+                    if position >= total:
+                        break
+                    block_index = order[position]
+                    cache_key = (
+                        block_index, generations[block_index],
+                        algorithm, key_fp,
+                    )
+                    cached = cache.lookup(cache_key)
+                    if cached is None or not sim.can_coalesce(
+                        block_hash_time
+                    ):
+                        # Hand order[position] -- lookup already done --
+                        # to the generic path below.
+                        looked_up = True
+                        break
+                continue
             if spans is not None:
                 # Mirror the Section 3.2 adversary model in the trace:
                 # when the order is a secret permutation the span says
@@ -244,11 +423,19 @@ class MeasurementProcess:
             pre_ops = self.policy.before_block(block_index)
             if pre_ops:
                 yield Compute(self._lock_cost(pre_ops))
-            content = device.memory.read_block(block_index)
+            if cached is None:
+                content = memory.read_block(block_index)
+                # Miss path doubles as the cache fill; hashing here is
+                # exactly what the next visit skips.
+                audit = audit_hash(content)  # repro: allow[perf-uncached-digest]
+                if cache is not None:
+                    cache.store(cache_key, content, audit)
+            else:
+                content, audit = cached
             block_times[block_index] = sim.now
-            block_hashes[block_index] = audit_hash(content)
+            block_hashes[block_index] = audit
             mac.update(digest_content(block_index, content))
-            yield Compute(block_hash_time)
+            yield Compute(block_hash_time, coalesce=cached is not None)
             post_ops = self.policy.after_block(block_index)
             if post_ops:
                 yield Compute(self._lock_cost(post_ops))
@@ -256,11 +443,11 @@ class MeasurementProcess:
                 spans.end_span(block_span)
                 m_blocks.inc()
                 m_bytes.inc(device.memory.sim_block_size)
-            if config.notify_malware:
+            if notify:
                 device.notify_block_measured(
-                    position + 1, len(order), interruptible,
-                    config.region or "",
+                    position + 1, total, interruptible, region_name
                 )
+            position += 1
 
         # Outer HMAC hash over the fixed-size inner digest.
         yield Compute(timing.hash_time(config.algorithm, mac.digest_size))
@@ -324,6 +511,19 @@ class MeasurementProcess:
                 "wall-to-wall measurement window t_e - t_s (sim s)",
                 mechanism=self.mechanism,
             ).observe(t_end - t_start)
+            if cache is not None:
+                # Cache-off runs never register these series, so the
+                # seed metric snapshot is untouched by default.
+                obs.metrics.counter(
+                    "perf.digest_cache.hits",
+                    "measurement blocks served from the digest cache",
+                    mechanism=self.mechanism,
+                ).inc(cache.hits - hits_before)
+                obs.metrics.counter(
+                    "perf.digest_cache.misses",
+                    "measurement blocks hashed and cached",
+                    mechanism=self.mechanism,
+                ).inc(cache.misses - misses_before)
         return self.record
 
     def _do_release(self) -> None:

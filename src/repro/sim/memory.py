@@ -190,6 +190,12 @@ class Memory:
         self.mpu = None  # wired by Device; duck-typed check_write(block)
         self.write_log: List[WriteRecord] = []
         self._clock = None  # wired by Device: callable returning sim time
+        #: monotonic per-block content generation: bumped on every
+        #: *applied* mutation (MPU-blocked writes leave it untouched).
+        #: ``(block, generation)`` therefore identifies block contents,
+        #: which is what :class:`repro.perf.digest_cache.DigestCache`
+        #: keys on to skip re-hashing unchanged blocks.
+        self.generations: List[int] = [0] * block_count
 
     # -- geometry --------------------------------------------------------
 
@@ -243,6 +249,24 @@ class Memory:
         self._check_index(block_index)
         return bytes(self.blocks[block_index].data)
 
+    def generation(self, block_index: int) -> int:
+        """The block's current content generation (see ``generations``)."""
+        self._check_index(block_index)
+        return self.generations[block_index]
+
+    def bump_all_generations(self) -> None:
+        """Conservatively invalidate every cached content identity.
+
+        :meth:`repro.sim.device.Device.reset` calls this on a brownout:
+        the RAM image technically survives, but after a reset nothing
+        pre-computed about its contents should be trusted -- every
+        digest-cache entry keyed on the old generations becomes
+        unreachable and is re-derived from the actual bytes.  Mutates
+        in place so long-lived aliases of the list stay valid.
+        """
+        for index in range(self.block_count):
+            self.generations[index] += 1
+
     def write(self, block_index: int, data: bytes, actor: str = "?") -> None:
         """Overwrite a whole block.
 
@@ -257,6 +281,7 @@ class Memory:
         if self.mpu is not None and not self.mpu.check_write(block_index, actor):
             return
         self.blocks[block_index].data[:] = data
+        self.generations[block_index] += 1
         self.write_log.append(
             WriteRecord(
                 self.now(), block_index, actor, content_fingerprint(data)
@@ -281,6 +306,7 @@ class Memory:
         if self.mpu is not None and not self.mpu.check_write(block_index, actor):
             return
         self.blocks[block_index].data[offset : offset + len(data)] = data
+        self.generations[block_index] += 1
         self.write_log.append(
             WriteRecord(
                 self.now(), block_index, actor,
@@ -302,6 +328,7 @@ class Memory:
             if len(content) != self.block_size:
                 raise ConfigurationError("image block size mismatch")
             self.blocks[index].data[:] = content
+            self.generations[index] += 1
 
     def benign_image(self) -> MemoryImage:
         """The pristine image this memory was initialized with."""

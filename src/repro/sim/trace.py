@@ -32,9 +32,14 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TraceRecord:
-    """One timeline event."""
+    """One timeline event.
+
+    Treated as immutable by convention; ``slots`` (rather than
+    ``frozen``) keeps construction cheap on the per-compute hot path,
+    where ``object.__setattr__`` overhead is measurable at fleet scale.
+    """
 
     time: float
     kind: str
@@ -146,24 +151,27 @@ class Trace:
         -- in ring-buffer mode the *oldest* records are silently
         discarded, so without the meta line a reader cannot tell a
         complete export from a truncated one.  Returns the number of
-        data records written (the meta line is not counted)."""
-        count = 0
+        data records written (the meta line is not counted).
+
+        The export is serialized in memory and flushed with a single
+        buffered ``write``: per-record ``write`` calls dominated export
+        time for fleet-scale traces, and one join yields the identical
+        bytes."""
+        lines = [
+            json.dumps(rec.to_dict(), sort_keys=True,
+                       separators=(",", ":"))
+            for rec in self.records
+        ]
+        count = len(lines)
+        meta = {
+            "kind": "trace.meta",
+            "records": count,
+            "dropped": self.dropped,
+            "max_records": self.max_records,
+        }
+        lines.append(
+            json.dumps(meta, sort_keys=True, separators=(",", ":"))
+        )
         with open(path, "w", encoding="utf-8") as handle:
-            for rec in self.records:
-                handle.write(
-                    json.dumps(rec.to_dict(), sort_keys=True,
-                               separators=(",", ":"))
-                )
-                handle.write("\n")
-                count += 1
-            meta = {
-                "kind": "trace.meta",
-                "records": count,
-                "dropped": self.dropped,
-                "max_records": self.max_records,
-            }
-            handle.write(
-                json.dumps(meta, sort_keys=True, separators=(",", ":"))
-            )
-            handle.write("\n")
+            handle.write("\n".join(lines) + "\n")
         return count

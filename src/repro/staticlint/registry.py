@@ -57,7 +57,9 @@ class Rule:
     """One registered lint rule."""
 
     id: str
-    family: str  # "determinism" | "crypto" | "atomicity" | "observability"
+    #: "determinism" | "crypto" | "atomicity" | "observability"
+    #: | "performance"
+    family: str
     severity: Severity
     summary: str
     rationale: str
@@ -157,4 +159,5 @@ def _load_rule_modules() -> None:
         crypto_rules,
         determinism,
         obs_rules,
+        perf_rules,
     )

@@ -1,0 +1,172 @@
+"""Bench harness: comparison logic, artifact shape and CLI exit codes.
+
+The expensive macro benches never run in tier-1 -- ``run_bench`` is
+exercised with a monkeypatched suite.  The two cheap micro benches run
+for real to pin the artifact contract (primary metric present, sane
+values), since that is what the comparison and CI lean on.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import bench
+from repro.perf.bench import (
+    BENCH_VERSION,
+    bench_digest_cache,
+    bench_trace_serialize,
+    compare,
+    git_revision,
+    render_comparison,
+    run_bench,
+)
+
+
+def artifact(benches, quick=True, revision="r1"):
+    return {
+        "version": BENCH_VERSION,
+        "revision": revision,
+        "quick": quick,
+        "created_at": 0.0,
+        "benches": benches,
+    }
+
+
+def one_bench(value, direction="higher", metric="speed"):
+    return {metric: value, "primary": metric, "direction": direction}
+
+
+class TestCompare:
+    def test_higher_is_better_regression(self):
+        rows = compare(
+            artifact({"b": one_bench(70.0)}),
+            artifact({"b": one_bench(100.0)}),
+            threshold=0.20,
+        )
+        assert rows[0]["regressed"]
+        assert rows[0]["ratio"] == pytest.approx(0.7)
+
+    def test_higher_within_threshold_ok(self):
+        rows = compare(
+            artifact({"b": one_bench(90.0)}),
+            artifact({"b": one_bench(100.0)}),
+            threshold=0.20,
+        )
+        # 0.9 >= 1/1.2: inside the allowed band
+        assert not rows[0]["regressed"]
+
+    def test_lower_is_better_regression(self):
+        rows = compare(
+            artifact({"b": one_bench(130.0, direction="lower")}),
+            artifact({"b": one_bench(100.0, direction="lower")}),
+            threshold=0.20,
+        )
+        assert rows[0]["regressed"]
+
+    def test_lower_within_threshold_ok(self):
+        rows = compare(
+            artifact({"b": one_bench(115.0, direction="lower")}),
+            artifact({"b": one_bench(100.0, direction="lower")}),
+            threshold=0.20,
+        )
+        assert not rows[0]["regressed"]
+
+    def test_improvement_never_regresses(self):
+        rows = compare(
+            artifact({"hi": one_bench(500.0),
+                      "lo": one_bench(10.0, direction="lower")}),
+            artifact({"hi": one_bench(100.0),
+                      "lo": one_bench(100.0, direction="lower")}),
+        )
+        assert not any(row["regressed"] for row in rows)
+
+    def test_missing_bench_skipped(self):
+        rows = compare(
+            artifact({"new": one_bench(1.0)}),
+            artifact({"old": one_bench(1.0)}),
+        )
+        assert rows == []
+
+    def test_zero_baseline_skipped(self):
+        rows = compare(
+            artifact({"b": one_bench(1.0)}),
+            artifact({"b": one_bench(0.0)}),
+        )
+        assert rows == []
+
+    def test_render_lists_every_row(self):
+        rows = compare(
+            artifact({"a": one_bench(50.0), "b": one_bench(100.0)}),
+            artifact({"a": one_bench(100.0), "b": one_bench(100.0)}),
+        )
+        text = render_comparison(rows)
+        assert "REGRESSED" in text and " ok" in text
+        assert "a" in text and "b" in text
+
+
+class TestMicroBenches:
+    def test_digest_cache_bench_shape(self):
+        result = bench_digest_cache(quick=True)
+        (name, payload), = result.items()
+        assert payload["primary"] in payload
+        assert payload[payload["primary"]] > 0
+
+    def test_trace_serialize_bench_shape(self, tmp_path):
+        result = bench_trace_serialize(True, tmp_path)
+        (name, payload), = result.items()
+        assert payload["direction"] == "higher"
+        assert payload[payload["primary"]] > 0
+
+    def test_git_revision_is_short_string(self):
+        revision = git_revision()
+        assert isinstance(revision, str) and revision
+        assert len(revision) <= 16
+
+
+class Args:
+    def __init__(self, **kw):
+        self.quick = kw.get("quick", True)
+        self.out = kw.get("out")
+        self.against = kw.get("against")
+        self.threshold = kw.get("threshold", 0.20)
+
+
+class TestRunBenchCli:
+    @pytest.fixture
+    def fake_suite(self, monkeypatch):
+        def suite(quick=False, workdir=None):
+            return artifact({"b": one_bench(100.0)}, quick=quick)
+
+        monkeypatch.setattr(bench, "run_suite", suite)
+
+    def test_writes_artifact_and_exits_zero(self, fake_suite, tmp_path,
+                                            capsys):
+        out = tmp_path / "bench.json"
+        assert run_bench(Args(out=str(out))) == 0
+        payload = json.loads(out.read_text())
+        assert payload["version"] == BENCH_VERSION
+        assert payload["benches"]["b"]["speed"] == 100.0
+        assert "bench suite" in capsys.readouterr().out
+
+    def test_clean_comparison_exits_zero(self, fake_suite, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(artifact({"b": one_bench(99.0)})))
+        code = run_bench(Args(out=str(tmp_path / "c.json"),
+                              against=str(base)))
+        assert code == 0
+
+    def test_regression_exits_one(self, fake_suite, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(artifact({"b": one_bench(1000.0)})))
+        code = run_bench(Args(out=str(tmp_path / "c.json"),
+                              against=str(base)))
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_quick_full_mismatch_noted(self, fake_suite, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(
+            json.dumps(artifact({"b": one_bench(100.0)}, quick=False))
+        )
+        run_bench(Args(out=str(tmp_path / "c.json"), against=str(base)))
+        assert "mismatch" in capsys.readouterr().out
