@@ -164,9 +164,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
 
+    serve = sub.add_parser(
+        "serve",
+        help="served-verifier load test (docs/verifier_service.md)",
+    )
+    from repro.vserver.cli import add_serve_arguments
+
+    add_serve_arguments(serve)
+
     bench = sub.add_parser(
         "bench", help="wall-clock regression bench suite (docs/performance.md)"
     )
+    bench.add_argument("action", nargs="?", default="run",
+                       choices=["run", "history"],
+                       help="'run' the suite (default) or tabulate the "
+                            "committed 'history' of BENCH_*.json artifacts")
     bench.add_argument("--quick", action="store_true",
                        help="smaller workloads for CI smoke runs")
     bench.add_argument("--out", default=None,
@@ -177,6 +189,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=0.20,
                        help="regression threshold as a fraction "
                             "(default 0.20 = 20%%)")
+    bench.add_argument("--dir", default="benchmarks",
+                       help="artifact directory the 'history' action "
+                            "tabulates (default: benchmarks/)")
 
     obs = sub.add_parser(
         "obs", help="observability exports: trace / metrics"
@@ -231,6 +246,10 @@ def _run(command: str, args: argparse.Namespace) -> str:
         return _run_swatt(args)
     if command == "fleet":
         return _run_fleet(args)
+    if command == "serve":
+        from repro.vserver.cli import run_serve
+
+        return run_serve(args)
     if command == "obs":
         from repro.obs.cli import run_obs
 

@@ -35,6 +35,7 @@ KNOWN_MECHANISMS = (
     "smarm",
     "erasmus",
     "seed",
+    "vserver",
     "crashtest",
     "sleeptest",
 )
@@ -92,6 +93,13 @@ class RunSpec:
     #: from to_dict()/run_id when empty so fault-free campaigns keep
     #: their historical identities and golden artifacts byte-identical.
     faults: str = ""
+    # -- served verifier -------------------------------------------------
+    #: ServiceConfig DSL ("preset=smoke;provers=100;batch=off") for the
+    #: ``vserver`` mechanism: the run drives a whole served-verifier
+    #: scenario instead of a single prover/verifier pair.  Excluded
+    #: from to_dict()/run_id when empty, same identity-stability rule
+    #: as ``faults``.
+    service: str = ""
 
     def __post_init__(self) -> None:
         if self.mechanism not in KNOWN_MECHANISMS:
@@ -116,6 +124,14 @@ class RunSpec:
             from repro.resilience.faults import FaultPlan
 
             FaultPlan.parse(self.faults)
+        if self.service:
+            if self.mechanism != "vserver":
+                raise ConfigurationError(
+                    "service= only applies to the 'vserver' mechanism"
+                )
+            from repro.vserver.service import ServiceConfig
+
+            ServiceConfig.parse(self.service)
 
     # -- identity -------------------------------------------------------
 
@@ -123,6 +139,8 @@ class RunSpec:
         data = asdict(self)
         if not data["faults"]:
             del data["faults"]
+        if not data["service"]:
+            del data["service"]
         return data
 
     @classmethod
@@ -362,11 +380,40 @@ def fault_matrix_campaign(seed_count: int = 3) -> CampaignSpec:
     )
 
 
+def vserver_service_campaign(seed_count: int = 2) -> CampaignSpec:
+    """The served verifier under escalating storm load.
+
+    Sweeps the smoke storm against batch on/off (whose ledgers must
+    agree -- the campaign-scale restatement of the golden byte-identity
+    test) and a denser population with a tighter rate limit, so the
+    admission-control taxonomy shows up in fleet telemetry.  Seeds
+    fold into the service traffic seed, replicating the storm phase.
+    """
+    return CampaignSpec(
+        name="vserver-service",
+        base={
+            "mechanism": "vserver",
+            "adversary": "none",
+            "workload": "none",
+            "horizon": 5.0,
+        },
+        axes={
+            "service": [
+                "preset=smoke",
+                "preset=smoke;batch=off",
+                "preset=smoke;provers=48;rate_limit=8",
+            ],
+        },
+        seeds=range(seed_count),
+    )
+
+
 CANNED_CAMPAIGNS: Dict[str, Callable[[int], CampaignSpec]] = {
     "qoa": qoa_fleet_campaign,
     "matrix": matrix_fleet_campaign,
     "locking": locking_availability_campaign,
     "faults": fault_matrix_campaign,
+    "vserver": vserver_service_campaign,
 }
 
 

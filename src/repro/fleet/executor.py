@@ -139,6 +139,75 @@ def _qoa_stats(spec: RunSpec) -> Dict[str, float]:
     return stats
 
 
+def _execute_service_run(spec: RunSpec, obs: Optional[Any]) -> RunResult:
+    """Worker path for the ``vserver`` mechanism: one served-verifier
+    scenario (storm + admission + epoch drains) instead of a single
+    prover/verifier pair.
+
+    The run seed folds into the service seed, so seed replication
+    resamples the storm phase the way ``infect_jitter`` resamples the
+    infection phase.  Service-level stats (queue latency quantiles,
+    admission counts) land in the ``qoa`` dict -- the quality-of-
+    service analogue of the attestation-quality stats -- and the
+    ``vserver.*`` metric snapshot rides in ``telemetry``.
+    """
+    import dataclasses
+
+    from repro.vserver.service import ServiceConfig, build_service_scenario
+
+    if obs is None:
+        obs = Observability(metrics=MetricsRegistry())
+    config = ServiceConfig.parse(spec.service or "smoke")
+    config = dataclasses.replace(
+        config, seed=f"{config.seed}-s{spec.seed:04d}"
+    )
+    scenario = build_service_scenario(config, obs=obs)
+    sim_time = scenario.sim.run(until=config.horizon)
+    server = scenario.server
+    stats = server.stats()
+
+    compromised = [
+        r for r in scenario.verifier.results
+        if r.verdict is Verdict.COMPROMISED
+    ]
+    first_detection = (
+        min(r.verified_at for r in compromised) if compromised else None
+    )
+    verified_records = sum(
+        entry.records for entry in server.ledger
+        if entry.status == "verified"
+    )
+    outcome_data = {
+        key: value
+        for key, value in scenario.outcomes.to_dict().items()
+        if key != "exchanges"
+    }
+    return RunResult(
+        run_id=spec.run_id,
+        spec=spec.to_dict(),
+        verdict_counts=verdict_histogram(scenario.verifier.results),
+        detected=bool(compromised),
+        first_detection_at=first_detection,
+        qoa={
+            "service_submitted": float(stats["submitted"]),
+            "service_verified": float(stats["verified"]),
+            "service_rejected": float(stats["rejected"]),
+            "service_unaccounted": float(stats["unaccounted"]),
+            "service_max_queue_depth": float(stats["max_queue_depth"]),
+            "service_queue_p50": stats["queue_latency_p50"],
+            "service_queue_p99": stats["queue_latency_p99"],
+        },
+        measurements=verified_records,
+        reports=stats["submitted"],
+        hash_ops=verified_records * config.blocks,
+        hash_bytes=verified_records * config.blocks * config.block_size,
+        auth_ops=stats["verified"],
+        telemetry=obs.metrics.snapshot_flat(),
+        outcomes=outcome_data,
+        sim_time=sim_time,
+    )
+
+
 def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
     """Build and run one scenario; raises on internal failure (the
     executor wraps this with retry/timeout handling).
@@ -152,6 +221,8 @@ def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
     """
     if spec.mechanism == "crashtest":
         raise InjectedFailure("injected crashtest failure")
+    if spec.mechanism == "vserver":
+        return _execute_service_run(spec, obs)
     if spec.mechanism == "sleeptest":
         # Burns *wall-clock* time equal to the simulated horizon --
         # only useful for exercising the timeout path.

@@ -280,6 +280,116 @@ def bench_fleet_incremental(
     }
 
 
+def bench_verifier_batch(quick: bool) -> Dict[str, Dict[str, Any]]:
+    """Micro: :meth:`Verifier.verify_batch` vs a serial loop over one
+    epoch's worth of overlapping reports.
+
+    The workload mirrors what an epoch drain sees in a storm: a cohort
+    of provers sharing one reference image, each shipping an
+    ERASMUS-style history ring, so consecutive reports re-carry the
+    same records.  Batch mode pays one keyed-digest pass per unique
+    record signature; serial re-walks the reference for every copy.
+    """
+    from repro.ra.report import AttestationReport
+    from repro.ra.verifier import Verifier
+    from repro.sim.engine import Simulator
+    from repro.vserver.loadgen import SimProver, cohort_image, prover_key
+
+    provers = 16 if quick else 48
+    blocks = 64 if quick else 128
+    sim = Simulator()
+    verifier = Verifier(sim, name="bench-verifier")
+    image = cohort_image("bench", blocks, 64)
+    entries = []
+    for index in range(provers):
+        name = f"bp{index:03d}"
+        key = prover_key(name)
+        prover = SimProver(
+            sim, name, key=key, image=image, endpoint=None
+        )
+        prover.enroll(verifier, image)
+        for _ in range(3):
+            prover.measure()
+            report = AttestationReport.authenticate(
+                key, name, list(prover.history),
+                sent_counter=prover.counter,
+            )
+            entries.append((report, {}))
+
+    def serial() -> None:
+        for report, kwargs in entries:
+            verifier.verify_report(report, **kwargs)
+
+    def batched() -> None:
+        verifier.verify_batch(entries)
+
+    repeats = 3 if quick else 5
+    best_serial = _best_of(serial, repeats)
+    best_batched = _best_of(batched, repeats)
+    return {
+        "verifier.batch": {
+            "speedup": best_serial / best_batched,
+            "serial_ms": best_serial * 1e3,
+            "batched_ms": best_batched * 1e3,
+            "reports": len(entries),
+            "blocks": blocks,
+            "primary": "speedup",
+            "direction": "higher",
+        }
+    }
+
+
+def bench_verifier_storm(quick: bool) -> Dict[str, Dict[str, Any]]:
+    """Macro: the storm1k thundering herd through the served verifier,
+    epoch-batched vs serial drains.
+
+    Both runs produce byte-identical ledgers (pinned by the golden
+    test); the bench times only the verify stage through the injected
+    wall clock, so queueing/network sim overhead does not drown the
+    signal.  Queue latencies are sim-time service metrics, identical
+    across modes, reported alongside for the acceptance table.
+    """
+    import dataclasses
+
+    from repro.fleet.clock import perf_time as clock
+    from repro.vserver.service import build_service_scenario, service_preset
+
+    config = service_preset("storm1k")
+    if quick:
+        config = dataclasses.replace(config, blocks=48)
+
+    def run(batch: bool) -> Any:
+        scenario = build_service_scenario(
+            dataclasses.replace(config, batch=batch)
+        )
+        scenario.server.verify_wall_clock = clock
+        stats = scenario.run()
+        return scenario.server.verify_wall_time, stats
+
+    repeats = 1 if quick else 2
+    best_serial = min(run(False)[0] for _ in range(repeats))
+    best_batched = float("inf")
+    stats = None
+    for _ in range(repeats):
+        wall, run_stats = run(True)
+        if wall < best_batched:
+            best_batched, stats = wall, run_stats
+    verified = stats["verified"]
+    return {
+        "verifier.storm1k": {
+            "speedup": best_serial / best_batched,
+            "batched_reports_per_sec": verified / best_batched,
+            "serial_reports_per_sec": verified / best_serial,
+            "queue_latency_p50": stats["queue_latency_p50"],
+            "queue_latency_p99": stats["queue_latency_p99"],
+            "provers": config.provers,
+            "verified": verified,
+            "primary": "speedup",
+            "direction": "higher",
+        }
+    }
+
+
 # ---------------------------------------------------------------------------
 # Suite driver / comparison
 # ---------------------------------------------------------------------------
@@ -301,6 +411,8 @@ def run_suite(quick: bool = False, workdir: Optional[Any] = None) -> Dict[str, A
     benches.update(bench_trace_serialize(quick, workdir))
     benches.update(bench_erasmus_cache(quick))
     benches.update(bench_fleet_incremental(quick, workdir))
+    benches.update(bench_verifier_batch(quick))
+    benches.update(bench_verifier_storm(quick))
     return {
         "version": BENCH_VERSION,
         "revision": git_revision(),
@@ -367,11 +479,90 @@ def render_comparison(rows: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def load_history(directory: Any) -> List[Dict[str, Any]]:
+    """Every ``BENCH_*.json`` under ``directory`` (plus its
+    ``baseline/`` subdirectory), oldest first by ``created_at``.
+
+    Unreadable artifacts are skipped with a marker entry rather than
+    aborting the view -- history must stay renderable even when one
+    old artifact predates a format change.
+    """
+    root = Path(directory)
+    paths = sorted(root.glob("BENCH_*.json"))
+    paths += sorted((root / "baseline").glob("BENCH_*.json"))
+    artifacts: List[Dict[str, Any]] = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                artifact = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            artifacts.append({"path": str(path), "unreadable": True})
+            continue
+        artifact["path"] = str(path)
+        artifacts.append(artifact)
+    artifacts.sort(key=lambda a: float(a.get("created_at", 0.0)))
+    return artifacts
+
+
+def render_history(artifacts: List[Dict[str, Any]]) -> str:
+    """Primary metrics tabulated across revisions, one bench per row.
+
+    Quick-mode artifacts are starred: their numbers are only
+    comparable to other quick artifacts.
+    """
+    readable = [a for a in artifacts if not a.get("unreadable")]
+    skipped = [a for a in artifacts if a.get("unreadable")]
+    if not readable:
+        return "no bench artifacts found"
+    names = sorted({
+        name for artifact in readable
+        for name in artifact.get("benches", {})
+    })
+    labels = []
+    for artifact in readable:
+        label = str(artifact.get("revision", "?"))
+        if artifact.get("quick"):
+            label += "*"
+        labels.append(label)
+    width = max(12, *(len(label) for label in labels))
+    header = f"{'bench (primary metric)':<36}" + "".join(
+        f" {label:>{width}}" for label in labels
+    )
+    lines = [header]
+    for name in names:
+        metric = ""
+        cells = []
+        for artifact in readable:
+            bench = artifact.get("benches", {}).get(name)
+            if bench is None:
+                cells.append(f" {'-':>{width}}")
+                continue
+            metric = bench.get("primary", metric)
+            value = bench.get(metric)
+            cell = f"{value:.4g}" if isinstance(value, (int, float)) else "-"
+            cells.append(f" {cell:>{width}}")
+        lines.append(f"{name + ' (' + metric + ')':<36}" + "".join(cells))
+    lines.append(
+        f"{len(readable)} artifact(s); * = quick mode "
+        "(only comparable to other quick runs)"
+    )
+    for artifact in skipped:
+        lines.append(f"skipped unreadable artifact: {artifact['path']}")
+    return "\n".join(lines)
+
+
 def run_bench(args: Any) -> int:
     """CLI entry: run the suite, write the artifact, optionally compare.
 
+    With the ``history`` action, tabulate the committed per-revision
+    artifacts instead of running anything.
+
     Exit codes: 0 clean, 1 regression against ``--against``.
     """
+    if getattr(args, "action", "run") == "history":
+        print(render_history(load_history(args.dir)))
+        return 0
+
     artifact = run_suite(quick=args.quick)
     out_path = Path(
         args.out if args.out else f"BENCH_{artifact['revision']}.json"

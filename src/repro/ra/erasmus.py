@@ -434,3 +434,28 @@ class CollectorVerifier:
             ).observe(now - requested_at)
         if on_result is not None:
             on_result(collection)
+
+
+#: the ERASMUS collection counter stream (one monotonic sequence per
+#: prover, independent of SeED pushes on the same device)
+COLLECT_STREAM = "erasmus-collect"
+
+
+def verify_collections_batch(verifier, reports):
+    """Epoch-batch verify ERASMUS collection replies.
+
+    The served-verifier entry point: all same-epoch collection reports
+    share one expected-digest precomputation pass
+    (:meth:`~repro.ra.verifier.Verifier.verify_batch`), with the
+    per-report counter-replay defense applied in arrival order exactly
+    as :class:`CollectorVerifier` does one report at a time.
+    """
+    return verifier.verify_batch(
+        [
+            (
+                report,
+                {"enforce_counter": True, "counter_stream": COLLECT_STREAM},
+            )
+            for report in reports
+        ]
+    )

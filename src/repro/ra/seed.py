@@ -343,3 +343,27 @@ class SeedMonitor:
             slot.result.verdict.value if slot.result else "pending"
             for slot in self.expected
         ]
+
+
+#: the SeED push counter stream (independent of ERASMUS collections)
+PUSH_STREAM = "seed-push"
+
+
+def verify_pushes_batch(verifier, reports):
+    """Epoch-batch verify SeED prover-initiated pushes.
+
+    Mirrors :class:`SeedMonitor`'s counter replay defense
+    (``enforce_counter`` on the per-device ``"seed-push"`` stream) but
+    amortizes the expected-digest recomputation across every
+    same-epoch report via
+    :meth:`~repro.ra.verifier.Verifier.verify_batch`.
+    """
+    return verifier.verify_batch(
+        [
+            (
+                report,
+                {"enforce_counter": True, "counter_stream": PUSH_STREAM},
+            )
+            for report in reports
+        ]
+    )

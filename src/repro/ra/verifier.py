@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.drbg import HmacDrbg
-from repro.crypto.hmac import constant_time_equal
+from repro.crypto.hmac import Hmac, constant_time_equal
 from repro.errors import ConfigurationError
 from repro.ra.measurement import expected_digest
 from repro.ra.report import (
@@ -81,6 +81,10 @@ class Verifier:
         self.results: List[VerificationResult] = []
         self._nonce_drbg = HmacDrbg(nonce_seed)
         self._seen_nonces: Dict[str, set] = {}
+        #: batch-scoped expected-digest memo; populated only inside
+        #: :meth:`verify_batch` so one-by-one verification stays on the
+        #: seed-identical recomputation path
+        self._expected_memo: Optional[Dict[tuple, bytes]] = None
 
     # -- registry ---------------------------------------------------------
 
@@ -235,6 +239,20 @@ class Verifier:
             )
         return list(blocks)
 
+    @staticmethod
+    def _memo_key(record: MeasurementRecord) -> tuple:
+        """Everything :meth:`expected_for` depends on, hashable."""
+        return (
+            record.device,
+            record.algorithm,
+            record.region,
+            record.nonce,
+            record.counter,
+            record.order_seed,
+            record.normalized,
+            record.data_copy,
+        )
+
     def expected_for(self, record: MeasurementRecord) -> bytes:
         """Digest MP should produce over the reference image.
 
@@ -242,6 +260,10 @@ class Verifier:
         contents stand in for the reference's data blocks -- the code
         region must still match the golden image exactly.
         """
+        if self._expected_memo is not None:
+            cached = self._expected_memo.get(self._memo_key(record))
+            if cached is not None:
+                return cached
         profile = self.profile(record.device)
         order = "shuffled" if record.order_seed else "sequential"
         reference = profile.reference
@@ -379,6 +401,97 @@ class Verifier:
             f"{len(record_verdicts)} measurement(s) match reference",
             record_verdicts, freshness,
         )
+
+    # -- epoch batching -------------------------------------------------------
+
+    def _precompute_expected(
+        self, entries: Sequence[Tuple[AttestationReport, Dict]]
+    ) -> Dict[tuple, bytes]:
+        """Expected digests for every distinct record in ``entries``.
+
+        Sequential-order records without an attached data copy share
+        the per-device reference traversal: all their keyed MACs are
+        advanced together in one pass over the reference image, so a
+        batch of k same-epoch reports pays one block walk instead of
+        k.  Shuffled (SMARM) and data-copy records fall back to the
+        per-record recomputation, still deduplicated by memo key.
+        """
+        memo: Dict[tuple, bytes] = {}
+        groups: Dict[tuple, List[Tuple[tuple, MeasurementRecord]]] = {}
+        for report, _kwargs in entries:
+            if report.device not in self.devices:
+                continue  # verify_report raises at this entry's turn
+            for record in report.records:
+                key = self._memo_key(record)
+                if key in memo:
+                    continue
+                if record.order_seed or record.data_copy:
+                    try:
+                        memo[key] = self.expected_for(record)
+                    except ConfigurationError:
+                        pass  # surfaces identically at verify time
+                    continue
+                sig = (
+                    record.device,
+                    record.algorithm,
+                    record.region,
+                    record.normalized,
+                )
+                members = groups.get(sig)
+                if members is None:
+                    members = groups[sig] = []
+                members.append((key, record))
+                memo[key] = b""  # claimed; overwritten by the pass
+        for sig, members in groups.items():
+            device, algorithm, _region, normalized = sig
+            profile = self.devices[device]
+            try:
+                blocks = self._measured_blocks(profile, members[0][1])
+            except ConfigurationError:
+                for key, _record in members:
+                    del memo[key]
+                continue
+            macs: List[Hmac] = []
+            for _key, record in members:
+                mac = Hmac(profile.key, algorithm)
+                mac.update(record.nonce + record.counter.to_bytes(8, "big"))
+                macs.append(mac)
+            zeroed = profile.mutable_blocks if normalized else frozenset()
+            reference = profile.reference
+            for block_index in blocks:
+                if block_index in zeroed:
+                    chunk = b"\x00" * len(reference[block_index])
+                else:
+                    chunk = reference[block_index]
+                for mac in macs:
+                    mac.update(chunk)
+            for (key, _record), mac in zip(members, macs):
+                memo[key] = mac.digest()
+        return memo
+
+    def verify_batch(
+        self, entries: Sequence[Tuple[AttestationReport, Dict]]
+    ) -> List[VerificationResult]:
+        """Verify a same-epoch batch of reports in arrival order.
+
+        ``entries`` is ``[(report, verify_kwargs), ...]`` where each
+        kwargs dict holds that report's :meth:`verify_report` keyword
+        arguments (``expected_nonce`` / ``enforce_counter`` /
+        ``counter_stream``).  Verdicts, details and result-history
+        side effects are byte-identical to calling
+        :meth:`verify_report` once per entry in the same order -- the
+        batch only amortizes expected-digest recomputation by
+        precomputing one memo for the whole epoch (shared reference
+        traversals, duplicate records digested once).
+        """
+        self._expected_memo = self._precompute_expected(entries)
+        try:
+            return [
+                self.verify_report(report, **kwargs)
+                for report, kwargs in entries
+            ]
+        finally:
+            self._expected_memo = None
 
     # -- statistics -----------------------------------------------------------
 

@@ -18,6 +18,13 @@ Outcome taxonomy (docs/resilience.md):
 ``reset-aborted``
     The exchange failed *and* a prover reset fell inside its window --
     the failure is attributed to the brownout, not the channel.
+``deferred-ok``
+    Report verified, but only after sitting in a served verifier's
+    request queue past the queue-latency SLO (admission succeeded,
+    service was late).
+``rejected``
+    A served verifier refused the report at admission time -- queue
+    full or per-tenant rate limit -- so it never reached verification.
 """
 
 from __future__ import annotations
@@ -25,21 +32,29 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional
 
+from repro.errors import ConfigurationError
+
 OUTCOME_OK = "ok"
 OUTCOME_RETRIED_OK = "retried-ok"
 OUTCOME_TIMED_OUT = "timed-out"
 OUTCOME_RESET_ABORTED = "reset-aborted"
+OUTCOME_DEFERRED_OK = "deferred-ok"
+OUTCOME_REJECTED = "rejected"
 
 #: the order tables and dicts render the taxonomy in
 OUTCOME_ORDER = (
     OUTCOME_OK,
     OUTCOME_RETRIED_OK,
+    OUTCOME_DEFERRED_OK,
     OUTCOME_TIMED_OUT,
     OUTCOME_RESET_ABORTED,
+    OUTCOME_REJECTED,
 )
 
 #: outcomes that delivered a verified report
-COMPLETED_OUTCOMES = frozenset((OUTCOME_OK, OUTCOME_RETRIED_OK))
+COMPLETED_OUTCOMES = frozenset(
+    (OUTCOME_OK, OUTCOME_RETRIED_OK, OUTCOME_DEFERRED_OK)
+)
 
 
 @dataclass
@@ -90,9 +105,20 @@ class OutcomeReport:
         attempts: int,
         completed: bool,
         verdict: str = "",
+        classification: Optional[str] = None,
     ) -> ExchangeOutcome:
-        """Classify and store one finished exchange."""
-        if completed:
+        """Classify and store one finished exchange.
+
+        ``classification`` overrides the retry-layer heuristic for
+        service-level outcomes the heuristic cannot see (a served
+        verifier's admission rejections and SLO-late verdicts).
+        """
+        if classification is not None:
+            if classification not in OUTCOME_ORDER:
+                raise ConfigurationError(
+                    f"unknown outcome classification {classification!r}"
+                )
+        elif completed:
             classification = (
                 OUTCOME_OK if attempts <= 1 else OUTCOME_RETRIED_OK
             )

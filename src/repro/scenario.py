@@ -119,6 +119,47 @@ class Scenario:
     # -- the factory -------------------------------------------------------
 
     @classmethod
+    def build_service(
+        cls,
+        config: Optional[Any] = None,
+        *,
+        obs: Optional[Any] = None,
+        **overrides: Any,
+    ) -> Any:
+        """Wire a served-verifier scenario (the ``vserver`` stack).
+
+        The service counterpart of :meth:`build`: ``config`` is a
+        :class:`~repro.vserver.service.ServiceConfig`, a preset name /
+        DSL string (``"smoke"``, ``"preset=storm1k;batch=off"``), or
+        ``None`` for the ``smoke`` preset; keyword ``overrides``
+        replace individual fields.  Returns a
+        :class:`~repro.vserver.service.ServiceScenario` -- a
+        population-scale scenario has no single device/channel, so it
+        is its own bundle rather than a :class:`Scenario`.
+        """
+        import dataclasses as _dataclasses
+
+        from repro.vserver.service import (
+            ServiceConfig,
+            build_service_scenario,
+        )
+
+        if config is None:
+            built = ServiceConfig.parse("smoke")
+        elif isinstance(config, str):
+            built = ServiceConfig.parse(config)
+        elif isinstance(config, ServiceConfig):
+            built = config
+        else:
+            raise ConfigurationError(
+                "config must be a ServiceConfig, preset/DSL string, "
+                "or None"
+            )
+        if overrides:
+            built = _dataclasses.replace(built, **overrides)
+        return build_service_scenario(built, obs=obs)
+
+    @classmethod
     def build(
         cls,
         mechanism: str = "smart",

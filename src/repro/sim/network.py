@@ -91,6 +91,49 @@ class Endpoint:
         return messages
 
 
+class MuxEndpoint(Endpoint):
+    """A many-to-one mailbox spanning several channels.
+
+    The served verifier's front door: thousands of provers live on
+    per-cohort channels (each with its own latency model and fault
+    filters), while the server terminates them all in one inbox and
+    one ``rx_signal``.  :meth:`join` attaches this endpoint to an
+    additional channel under its own name; :meth:`send` routes by
+    destination, picking the first joined channel that knows ``dst``
+    (channel join order, so routing stays deterministic).
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.channels: List["Channel"] = []
+        super().__init__(sim, name)
+
+    # ``Channel.attach`` assigns ``endpoint.channel``; the mux turns
+    # that single-owner slot into an accumulating membership so joining
+    # a second channel does not silently detach the first.
+    @property
+    def channel(self) -> Optional["Channel"]:
+        return self.channels[0] if self.channels else None
+
+    @channel.setter
+    def channel(self, value: Optional["Channel"]) -> None:
+        if value is not None and value not in self.channels:
+            self.channels.append(value)
+
+    def join(self, channel: "Channel") -> "MuxEndpoint":
+        """Attach to one more channel (same name on every channel)."""
+        channel.attach(self)
+        return self
+
+    def send(self, dst: str, kind: str, payload: Any) -> Message:
+        for channel in self.channels:
+            if dst in channel.endpoints:
+                return channel.send(self.name, dst, kind, payload)
+        raise ConfigurationError(
+            f"mux endpoint {self.name!r} reaches no channel with "
+            f"destination {dst!r}"
+        )
+
+
 @dataclass(frozen=True)
 class FilterVerdict:
     """What one filter decided about one in-flight message.

@@ -48,6 +48,12 @@ class LintConfig:
         "repro/ra/service.py",
         "repro/resilience/",
     )
+    #: service/fleet hot paths where per-message accumulation must
+    #: carry a visible capacity bound (admission control, ring trim)
+    queue_scope: Tuple[str, ...] = (
+        "repro/vserver/",
+        "repro/fleet/",
+    )
     #: subset of rule ids to run (None = all registered rules)
     select: Optional[Tuple[str, ...]] = None
 

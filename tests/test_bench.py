@@ -17,7 +17,9 @@ from repro.perf.bench import (
     bench_trace_serialize,
     compare,
     git_revision,
+    load_history,
     render_comparison,
+    render_history,
     run_bench,
 )
 
@@ -123,12 +125,69 @@ class TestMicroBenches:
         assert len(revision) <= 16
 
 
+class TestHistory:
+    def write(self, path, benches, created_at, revision, quick=False):
+        payload = artifact(benches, quick=quick, revision=revision)
+        payload["created_at"] = created_at
+        path.write_text(json.dumps(payload))
+
+    def test_loads_oldest_first_including_baseline(self, tmp_path):
+        (tmp_path / "baseline").mkdir()
+        self.write(tmp_path / "baseline" / "BENCH_seed.json",
+                   {"b": one_bench(1.0)}, 1.0, "seed")
+        self.write(tmp_path / "BENCH_r2.json",
+                   {"b": one_bench(2.0)}, 2.0, "r2")
+        history = load_history(tmp_path)
+        assert [a["revision"] for a in history] == ["seed", "r2"]
+
+    def test_unreadable_artifact_becomes_marker(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        self.write(tmp_path / "BENCH_ok.json",
+                   {"b": one_bench(1.0)}, 1.0, "ok")
+        history = load_history(tmp_path)
+        assert any(a.get("unreadable") for a in history)
+        text = render_history(history)
+        assert "skipped unreadable artifact" in text
+        assert "ok" in text
+
+    def test_render_tabulates_per_revision(self, tmp_path):
+        self.write(tmp_path / "BENCH_r1.json",
+                   {"old": one_bench(1.0)}, 1.0, "r1")
+        self.write(tmp_path / "BENCH_r2.json",
+                   {"old": one_bench(2.0), "new": one_bench(3.0)},
+                   2.0, "r2", quick=True)
+        text = render_history(load_history(tmp_path))
+        # quick artifacts are starred; benches missing from an older
+        # revision render as '-'
+        assert "r2*" in text and "r1" in text
+        assert "old (speed)" in text and "new (speed)" in text
+        assert " -" in text
+        assert "2 artifact(s)" in text
+
+    def test_empty_directory(self, tmp_path):
+        assert render_history(load_history(tmp_path)) == \
+            "no bench artifacts found"
+
+    def test_history_action_skips_suite(self, tmp_path, capsys,
+                                        monkeypatch):
+        def boom(**_kw):  # pragma: no cover - must not run
+            raise AssertionError("suite ran under the history action")
+
+        monkeypatch.setattr(bench, "run_suite", boom)
+        self.write(tmp_path / "BENCH_r1.json",
+                   {"b": one_bench(1.0)}, 1.0, "r1")
+        assert run_bench(Args(action="history", dir=str(tmp_path))) == 0
+        assert "r1" in capsys.readouterr().out
+
+
 class Args:
     def __init__(self, **kw):
         self.quick = kw.get("quick", True)
         self.out = kw.get("out")
         self.against = kw.get("against")
         self.threshold = kw.get("threshold", 0.20)
+        self.action = kw.get("action", "run")
+        self.dir = kw.get("dir", "benchmarks")
 
 
 class TestRunBenchCli:

@@ -770,6 +770,149 @@ class TestPerfUncachedDigestRule:
         assert not live(findings_for(src, rule=self.RULE))
 
 
+VSERVER_PATH = "src/repro/vserver/fake_module.py"
+
+
+class TestPerfUnboundedQueueRule:
+    RULE = "perf-unbounded-queue"
+
+    def test_deque_without_maxlen_flagged(self):
+        src = (
+            "from collections import deque\n"
+            "class Srv:\n"
+            "    def __init__(self):\n"
+            "        self.inbox = deque()\n"
+        )
+        found = live(findings_for(src, path=VSERVER_PATH, rule=self.RULE))
+        assert [f.rule_id for f in found] == [self.RULE]
+        assert found[0].line == 4
+        assert "maxlen" in found[0].message
+
+    def test_deque_with_maxlen_not_flagged(self):
+        src = (
+            "from collections import deque\n"
+            "class Srv:\n"
+            "    def __init__(self, cap):\n"
+            "        self.inbox = deque(maxlen=cap)\n"
+        )
+        assert not live(
+            findings_for(src, path=VSERVER_PATH, rule=self.RULE)
+        )
+
+    def test_deque_maxlen_none_still_flagged(self):
+        src = (
+            "from collections import deque\n"
+            "q = deque(maxlen=None)\n"
+        )
+        assert len(live(
+            findings_for(src, path=VSERVER_PATH, rule=self.RULE)
+        )) == 1
+
+    def test_unbounded_self_append_flagged_in_fleet_scope(self):
+        src = (
+            "class Collector:\n"
+            "    def on_result(self, result):\n"
+            "        self.results.append(result)\n"
+        )
+        found = live(findings_for(src, path=FLEET_PATH, rule=self.RULE))
+        assert len(found) == 1
+        assert found[0].line == 3
+        assert "self.results" in found[0].message
+
+    def test_len_admission_check_not_flagged(self):
+        src = (
+            "class Srv:\n"
+            "    def submit(self, item):\n"
+            "        if len(self.queue) >= self.capacity:\n"
+            "            return None\n"
+            "        self.queue.append(item)\n"
+        )
+        assert not live(
+            findings_for(src, path=VSERVER_PATH, rule=self.RULE)
+        )
+
+    def test_ring_trim_via_pop_not_flagged(self):
+        src = (
+            "class Prover:\n"
+            "    def measure(self, record):\n"
+            "        self.history.append(record)\n"
+            "        if len(self.history) > self.size:\n"
+            "            self.history.pop(0)\n"
+        )
+        assert not live(
+            findings_for(src, path=VSERVER_PATH, rule=self.RULE)
+        )
+
+    def test_slice_trim_not_flagged(self):
+        src = (
+            "class Srv:\n"
+            "    def push(self, item):\n"
+            "        self.window.append(item)\n"
+            "        self.window[:] = self.window[-8:]\n"
+        )
+        assert not live(
+            findings_for(src, path=VSERVER_PATH, rule=self.RULE)
+        )
+
+    def test_bound_in_other_function_still_flagged(self):
+        src = (
+            "class Srv:\n"
+            "    def on_msg(self, item):\n"
+            "        self.log.append(item)\n"
+            "    def trim(self):\n"
+            "        self.log.pop(0)\n"
+        )
+        assert len(live(
+            findings_for(src, path=VSERVER_PATH, rule=self.RULE)
+        )) == 1
+
+    def test_local_list_append_not_flagged(self):
+        src = (
+            "def drain(queue):\n"
+            "    out = []\n"
+            "    for item in queue:\n"
+            "        out.append(item)\n"
+            "    return out\n"
+        )
+        assert not live(
+            findings_for(src, path=VSERVER_PATH, rule=self.RULE)
+        )
+
+    def test_out_of_scope_module_not_flagged(self):
+        src = (
+            "from collections import deque\n"
+            "class Srv:\n"
+            "    def on_msg(self, item):\n"
+            "        self.log.append(item)\n"
+        )
+        assert findings_for(src, path=SIM_PATH, rule=self.RULE) == []
+
+    def test_suppressed_inline(self):
+        src = (
+            "class Srv:\n"
+            "    def conclude(self, entry):\n"
+            "        self.ledger.append(entry)"
+            "  # repro: allow[perf-unbounded-queue]\n"
+        )
+        findings = findings_for(src, path=VSERVER_PATH, rule=self.RULE)
+        assert len(findings) == 1 and findings[0].suppressed
+        assert not live(findings)
+
+    def test_shipped_vserver_and_fleet_sources_clean(self):
+        import pathlib
+
+        config = LintConfig(select=(self.RULE,))
+        for package in ("vserver", "fleet"):
+            root = pathlib.Path("src/repro") / package
+            for path in sorted(root.rglob("*.py")):
+                found = live(findings_for(
+                    path.read_text(encoding="utf-8"),
+                    path=str(path),
+                    config=config,
+                ))
+                assert found == [], (path, found)
+
+
 class TestRegistry:
     def test_catalogue_covers_five_families(self):
         families = {rule.family for rule in all_rules()}

@@ -1,0 +1,222 @@
+"""Serial vs epoch-batched verification: the byte-identity contract.
+
+``Verifier.verify_batch`` must be a pure wall-clock optimization: for
+any sequence of reports, batching may only amortize the expected-digest
+recomputation, never change a verdict, a detail string, or a
+per-record verdict.  This file pins that contract three ways:
+
+* **per mechanism** -- reports captured from real Table-1 scenario
+  runs (on-demand, ERASMUS collections, SeED pushes), re-verified
+  against fresh verifiers serially and batched, including runs under a
+  ``FaultPlan`` with loss + timer drift and a mid-run
+  ``Device.reset()`` brownout;
+* **per algorithm** -- the served-verifier storm produces
+  byte-identical verdict ledgers with batch on and off for sha256,
+  sha512 and blake2b record digests;
+* **golden** -- the smoke preset's canonical ledger is committed at
+  ``tests/golden/vserver_ledger.jsonl``; both drain modes must
+  reproduce it byte-for-byte (the CI load-test smoke job diffs the
+  same artifact).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.tradeoff import ScenarioConfig
+from repro.ra.erasmus import COLLECT_STREAM, verify_collections_batch
+from repro.ra.seed import PUSH_STREAM, verify_pushes_batch
+from repro.ra.verifier import Verifier
+from repro.resilience.retry import RetryPolicy
+from repro.scenario import Scenario
+from repro.sim.engine import Simulator
+from repro.units import MiB
+from repro.vserver import ServiceConfig, build_service_scenario
+
+GOLDEN_LEDGER = Path(__file__).parent / "golden" / "vserver_ledger.jsonl"
+
+ON_DEMAND = ["smart", "all-lock", "dec-lock", "inc-lock", "smarm"]
+
+
+def run_scenario(mechanism, malware="transient", faults=None, seed=5):
+    """One small but real Table-1 run; returns the finished scenario."""
+    config = ScenarioConfig(
+        block_count=8,
+        sim_block_size=MiB,
+        request_at=1.0,
+        horizon=24.0,
+        smarm_rounds=3,
+        erasmus_period=4.0,
+    )
+    retry = None
+    if faults:
+        retry = RetryPolicy(
+            timeout=2.0, max_retries=4, backoff=1.5, max_timeout=8.0,
+            jitter=0.1, seed=b"equiv-retry",
+        )
+    scenario = Scenario.build(
+        mechanism,
+        malware=malware,
+        faults=faults,
+        config=config,
+        seed=seed,
+        retry=retry,
+        fault_seed=b"equiv-faults",
+        malware_options={"block": 2, "infect_at": 2.0, "dwell": 3.0,
+                         "rng_seed": seed},
+    )
+    if scenario.driver is not None:
+        scenario.schedule_request(
+            1.0, rounds=3 if mechanism == "smarm" else 1
+        )
+    elif scenario.collector is not None:
+        scenario.schedule_collections(8.0, 2)
+    scenario.sim.run(until=config.horizon)
+    return scenario
+
+
+def captured_reports(scenario):
+    """The reports the run actually sent, plus their verify kwargs."""
+    if scenario.seed_service is not None:
+        reports = list(scenario.seed_service.reports_sent)
+        kwargs = {"enforce_counter": True, "counter_stream": PUSH_STREAM}
+    elif scenario.collector is not None:
+        reports = [c.report for c in scenario.collector.collections]
+        kwargs = {"enforce_counter": True,
+                  "counter_stream": COLLECT_STREAM}
+    else:
+        reports = list(scenario.service.reports_sent)
+        kwargs = {}
+    return reports, kwargs
+
+
+def fresh_verifier(source):
+    """A new verifier enrolled with the same profiles, clean state."""
+    sim = Simulator()
+    fresh = Verifier(sim, name=f"{source.name}-reverify")
+    for name, profile in source.devices.items():
+        fresh.enroll(
+            name,
+            key=profile.key,
+            reference=profile.reference,
+            region_map={k: list(v) for k, v in profile.region_map.items()},
+            mutable_blocks=profile.mutable_blocks,
+        )
+    return fresh
+
+
+def signature(results):
+    """Everything deterministic about a verification outcome."""
+    return [
+        (
+            result.device,
+            result.verdict.value,
+            result.detail,
+            [verdict.value for verdict in result.record_verdicts],
+            result.verified_at,
+        )
+        for result in results
+    ]
+
+
+def assert_equivalent(scenario):
+    reports, kwargs = captured_reports(scenario)
+    assert reports, "scenario produced no reports to re-verify"
+    serial = fresh_verifier(scenario.verifier)
+    serial_results = [
+        serial.verify_report(report, **kwargs) for report in reports
+    ]
+    batched = fresh_verifier(scenario.verifier)
+    if scenario.seed_service is not None:
+        batched_results = verify_pushes_batch(batched, reports)
+    elif scenario.collector is not None:
+        batched_results = verify_collections_batch(batched, reports)
+    else:
+        batched_results = batched.verify_batch(
+            [(report, kwargs) for report in reports]
+        )
+    assert signature(batched_results) == signature(serial_results)
+    return serial_results
+
+
+class TestMechanismEquivalence:
+    @pytest.mark.parametrize("mechanism", ON_DEMAND)
+    def test_on_demand_reports(self, mechanism):
+        scenario = run_scenario(mechanism)
+        assert_equivalent(scenario)
+
+    def test_erasmus_collections(self):
+        scenario = run_scenario("erasmus")
+        results = assert_equivalent(scenario)
+        # history re-ships are where batching amortizes: make sure the
+        # workload actually contains multi-record reports
+        assert any(len(r.record_verdicts) > 1 for r in results)
+
+    def test_seed_pushes(self):
+        scenario = run_scenario("seed")
+        assert_equivalent(scenario)
+
+    def test_faulted_channel_with_loss_and_drift(self):
+        scenario = run_scenario(
+            "smart", faults="loss=0.25@0:12;drift=0.02@2"
+        )
+        assert_equivalent(scenario)
+
+    def test_mid_run_brownout_reset(self):
+        # Device.reset() wipes volatile attestation state mid-run; the
+        # replayed/stale reports it provokes must classify identically
+        # in both drain modes.
+        scenario = run_scenario(
+            "seed", faults="loss=0.2@0:10;reset@5"
+        )
+        assert scenario.device.reset_count > 0
+        assert_equivalent(scenario)
+
+    def test_batch_rejects_replays_like_serial(self):
+        scenario = run_scenario("seed")
+        reports, kwargs = captured_reports(scenario)
+        doubled = reports + reports  # every report replayed once
+        serial = fresh_verifier(scenario.verifier)
+        serial_results = [
+            serial.verify_report(report, **kwargs) for report in doubled
+        ]
+        batched = fresh_verifier(scenario.verifier)
+        batched_results = verify_pushes_batch(batched, doubled)
+        assert signature(batched_results) == signature(serial_results)
+        assert any(
+            result.verdict.value == "replay" for result in batched_results
+        )
+
+
+def service_ledger(algorithm, batch, provers=12):
+    config = ServiceConfig.parse(
+        f"preset=smoke;provers={provers};algorithm={algorithm};"
+        f"batch={'on' if batch else 'off'}"
+    )
+    scenario = build_service_scenario(config)
+    scenario.run()
+    assert scenario.server.unaccounted == 0
+    return scenario.ledger_lines()
+
+
+class TestServiceLedgerIdentity:
+    @pytest.mark.parametrize(
+        "algorithm", ["sha256", "sha512", "blake2b"]
+    )
+    def test_batched_equals_serial_per_algorithm(self, algorithm):
+        batched = service_ledger(algorithm, batch=True)
+        serial = service_ledger(algorithm, batch=False)
+        assert batched == serial
+        assert any('"status":"verified"' in line for line in batched)
+
+    def test_golden_smoke_ledger_both_modes(self):
+        golden = GOLDEN_LEDGER.read_text(encoding="utf-8").splitlines()
+        for batch in (True, False):
+            config = ServiceConfig.parse(
+                f"preset=smoke;batch={'on' if batch else 'off'}"
+            )
+            scenario = build_service_scenario(config)
+            scenario.run()
+            assert scenario.ledger_lines() == golden, (
+                f"smoke ledger diverged from golden (batch={batch})"
+            )
