@@ -42,7 +42,9 @@ def modinv(a: int, modulus: int) -> int:
     """Inverse of ``a`` modulo ``modulus``; raises if not coprime."""
     g, x, _ = egcd(a % modulus, modulus)
     if g != 1:
-        raise ParameterError(f"{a} has no inverse modulo {modulus}")
+        # the operand may be secret (ecdsa_sign inverts the nonce):
+        # never interpolate it into the exception text
+        raise ParameterError(f"value has no inverse modulo {modulus}")
     return x % modulus
 
 

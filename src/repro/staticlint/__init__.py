@@ -12,19 +12,35 @@ provably has.
 
 Rule families (see :mod:`repro.staticlint.determinism`,
 :mod:`repro.staticlint.crypto_rules`,
-:mod:`repro.staticlint.atomicity`)::
+:mod:`repro.staticlint.atomicity`,
+:mod:`repro.staticlint.taint_rules`)::
 
     determinism  det-wall-clock, det-module-random,
                  det-unseeded-random, det-set-iteration,
-                 det-mutable-default
-    crypto       crypto-digest-eq, crypto-random-module
-    atomicity    ra-atomic-gap
+                 det-mutable-default, det-taint-flow*
+    crypto       crypto-digest-eq, crypto-random-module,
+                 crypto-secret-leak*
+    atomicity    ra-atomic-gap, ra-naked-send,
+                 ra-atomic-gap-interproc*
+    observability  obs-span-leak, obs-span-leak-interproc*
+    performance  perf-uncached-digest, perf-unbounded-queue
+
+Rules marked ``*`` are whole-program: they run once over the project
+symbol table / call graph / taint engine (:mod:`repro.staticlint.
+symbols`, :mod:`repro.staticlint.callgraph`,
+:mod:`repro.staticlint.dataflow`) instead of per module, and their
+findings carry a source->sink ``trace``.
 
 Usage::
 
     repro lint src/                 # self-scan, exit 0 when clean
     repro lint --list-rules         # the catalogue
     repro lint --format json src/   # machine-readable findings
+    repro lint --format sarif src/  # SARIF 2.1.0 (code scanning)
+    repro lint --call-graph src/    # the resolved call graph
+    repro lint --explain det-taint-flow src/   # source->sink paths
+    repro lint --changed HEAD~1     # only files modified vs. a ref
+    repro lint --cache src/         # content-hash incremental runs
 
 Inline suppression: ``# repro: allow[rule-id]  -- justification``.
 Accepted legacy findings live in ``lint-baseline.json``.
@@ -37,9 +53,15 @@ from repro.staticlint.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.staticlint.cache import LintCache
+from repro.staticlint.callgraph import ProjectIndex
 from repro.staticlint.cli import build_report, main, run_lint
+from repro.staticlint.dataflow import TaintSpec, run_taint
 from repro.staticlint.engine import (
+    ProjectAnalysis,
+    ProjectContext,
     analyze_paths,
+    analyze_project,
     analyze_source,
     iter_python_files,
 )
@@ -49,27 +71,48 @@ from repro.staticlint.registry import (
     Rule,
     all_rules,
     get_rule,
+    selected_project_rules,
+    selected_rules,
 )
 from repro.staticlint.reporters import LintReport, rule_catalogue
+from repro.staticlint.sarif import render_sarif
+from repro.staticlint.symbols import (
+    FunctionInfo,
+    ModuleSummary,
+    extract_module_summary,
+)
 
 __all__ = [
     "Baseline",
     "BaselineEntry",
     "Finding",
+    "FunctionInfo",
+    "LintCache",
     "LintConfig",
     "LintReport",
+    "ModuleSummary",
+    "ProjectAnalysis",
+    "ProjectContext",
+    "ProjectIndex",
     "Rule",
+    "TaintSpec",
     "all_rules",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "apply_baseline",
     "build_report",
+    "extract_module_summary",
     "get_rule",
     "iter_python_files",
     "load_baseline",
     "main",
+    "render_sarif",
     "rule_catalogue",
     "run_lint",
+    "run_taint",
+    "selected_project_rules",
+    "selected_rules",
     "write_baseline",
     "Severity",
 ]

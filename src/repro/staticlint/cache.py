@@ -1,0 +1,145 @@
+"""Content-hash analysis cache for incremental ``repro lint`` runs.
+
+Two granularities share one JSON file:
+
+* **per module** -- lexical findings plus the whole-program summary,
+  keyed by the sha256 of the module's source text.  An unchanged file
+  skips parsing and every lexical rule;
+* **per project** -- the interprocedural findings, keyed by the hash
+  of *all* module hashes.  When no file changed at all, the taint
+  fixpoint is skipped too and a warm run reduces to read + hash +
+  deserialize.
+
+Both keys are additionally guarded by a *schema hash* covering the
+analysis version, the registered rule ids, and the active
+:class:`~repro.staticlint.registry.LintConfig` -- upgrading the
+analyzer or changing ``--select`` invalidates every entry at once
+rather than serving findings a different rule set produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.staticlint.findings import Finding
+from repro.staticlint.symbols import SUMMARY_VERSION
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:24]
+
+
+def schema_hash(config, rule_ids) -> str:
+    material = json.dumps(
+        {
+            "cache": CACHE_VERSION,
+            "summary": SUMMARY_VERSION,
+            "rules": sorted(rule_ids),
+            "config": repr(config),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]
+
+
+class LintCache:
+    """Load/serve/update one cache file; counts hits for the bench."""
+
+    def __init__(self, path: str, schema: str) -> None:
+        self.path = Path(path)
+        self.schema = schema
+        self.modules: Dict[str, Dict[str, Any]] = {}
+        self.project: Optional[Dict[str, Any]] = None
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_VERSION
+            or payload.get("schema") != self.schema
+        ):
+            return  # stale schema: start empty, overwrite on save
+        self.modules = payload.get("modules", {})
+        self.project = payload.get("project")
+
+    # -- per-module entries --------------------------------------------
+
+    def get_module(
+        self, norm: str, stamp: str
+    ) -> Optional[Tuple[List[Finding], Dict[str, Any]]]:
+        entry = self.modules.get(norm)
+        if entry is None or entry.get("hash") != stamp:
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [Finding.from_dict(f) for f in entry["findings"]]
+        return findings, entry["summary"]
+
+    def put_module(
+        self,
+        norm: str,
+        stamp: str,
+        findings: List[Finding],
+        summary: Dict[str, Any],
+    ) -> None:
+        self.modules[norm] = {
+            "hash": stamp,
+            "findings": [f.to_dict() for f in findings],
+            "summary": summary,
+        }
+        self._dirty = True
+
+    # -- the project-wide entry ----------------------------------------
+
+    def project_key(self, module_hashes: Dict[str, str]) -> str:
+        material = json.dumps(sorted(module_hashes.items()))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]
+
+    def get_project(self, key: str) -> Optional[List[Finding]]:
+        entry = self.project
+        if entry is None or entry.get("hash") != key:
+            return None
+        return [Finding.from_dict(f) for f in entry["findings"]]
+
+    def put_project(self, key: str, findings: List[Finding]) -> None:
+        self.project = {
+            "hash": key,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "schema": self.schema,
+            "modules": self.modules,
+            "project": self.project,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # an unwritable cache degrades to a cold run
+        self._dirty = False
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

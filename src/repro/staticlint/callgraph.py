@@ -1,0 +1,144 @@
+"""Project call graph over the per-module summaries.
+
+:class:`ProjectIndex` resolves each :class:`~repro.staticlint.symbols.
+CallRecord` to the project function it targets (or ``None`` for
+stdlib/external calls) and exposes the resulting adjacency as a call
+graph.  Resolution is deliberately conservative -- a wrong edge would
+let the interprocedural rules report phantom paths -- and tries, in
+order:
+
+1. ``self.method(...)`` -> the method on the caller's own class;
+2. the import-dealiased dotted name against the full qualname table
+   (``from repro.fleet.clock import wall_time; wall_time()`` and
+   ``from repro.fleet import clock; clock.wall_time()`` both land on
+   ``repro.fleet.clock.wall_time``);
+3. the caller's own module (bare ``helper()`` calls and
+   ``Class.method`` references);
+4. a method-name match on some *unique* project class (``tracker.
+   begin_span(...)`` where exactly one class defines ``begin_span``);
+   ambiguous names resolve to nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.staticlint.symbols import CallRecord, FunctionInfo, ModuleSummary
+
+
+@dataclass
+class ProjectIndex:
+    """Symbol table + call resolution over every analyzed module."""
+
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: method name -> quals of project methods with that name
+    methods: Dict[str, List[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, summaries: Sequence[ModuleSummary]) -> "ProjectIndex":
+        index = cls()
+        for summary in sorted(summaries, key=lambda s: s.module):
+            for qual, info in sorted(summary.functions.items()):
+                index.functions[qual] = info
+                if info.cls:
+                    index.methods.setdefault(info.name, []).append(qual)
+        return index
+
+    def resolve_call(
+        self, caller: FunctionInfo, call: CallRecord
+    ) -> Optional[FunctionInfo]:
+        """The project function ``call`` targets, or None if external."""
+        if call.recv_self and caller.cls:
+            qual = f"{caller.module}.{caller.cls}.{call.terminal}"
+            found = self.functions.get(qual)
+            if found is not None:
+                return found
+        resolved = call.resolved
+        if resolved:
+            found = self.functions.get(resolved)
+            if found is not None:
+                return found
+            found = self.functions.get(f"{caller.module}.{resolved}")
+            if found is not None:
+                return found
+        if call.terminal and "." in resolved:
+            candidates = self.methods.get(call.terminal, ())
+            if len(candidates) == 1:
+                return self.functions[candidates[0]]
+        return None
+
+    # -- graph views ---------------------------------------------------
+
+    def edges(self) -> Dict[str, List[Tuple[str, int]]]:
+        """caller qual -> sorted [(callee qual, call line), ...]."""
+        out: Dict[str, List[Tuple[str, int]]] = {}
+        for qual in sorted(self.functions):
+            caller = self.functions[qual]
+            seen: Set[Tuple[str, int]] = set()
+            for call in caller.calls:
+                callee = self.resolve_call(caller, call)
+                if callee is not None and callee.qual != qual:
+                    seen.add((callee.qual, call.line))
+            if seen:
+                out[qual] = sorted(seen)
+        return out
+
+    def callers_of(self) -> Dict[str, List[str]]:
+        """callee qual -> sorted caller quals (the reverse graph)."""
+        reverse: Dict[str, Set[str]] = {}
+        for caller, targets in self.edges().items():
+            for callee, _line in targets:
+                reverse.setdefault(callee, set()).add(caller)
+        return {qual: sorted(callers) for qual, callers in reverse.items()}
+
+    def transitively_calls(
+        self, start: FunctionInfo, predicate, plain_only: bool = True
+    ) -> Optional[List[str]]:
+        """BFS for a callee chain from ``start`` to a function where
+        ``predicate(info)`` holds; returns the qual chain or None.
+
+        ``plain_only`` skips ``yield from`` edges: a generator's body
+        does not run on a plain call, so its yields/schedules only
+        matter when the caller delegates into it.  ``start`` itself is
+        tested first (a chain of length one).
+        """
+        queue: List[Tuple[FunctionInfo, List[str]]] = [(start, [start.qual])]
+        visited = {start.qual}
+        while queue:
+            info, chain = queue.pop(0)
+            if predicate(info):
+                return chain
+            for call in info.calls:
+                if plain_only and call.yield_from:
+                    continue
+                callee = self.resolve_call(info, call)
+                if callee is None or callee.qual in visited:
+                    continue
+                visited.add(callee.qual)
+                queue.append((callee, chain + [callee.qual]))
+        return None
+
+    def render(self) -> str:
+        """Human-readable call graph (the ``--call-graph`` output)."""
+        lines: List[str] = []
+        edges = self.edges()
+        external = 0
+        for qual in sorted(self.functions):
+            caller = self.functions[qual]
+            targets = edges.get(qual, [])
+            external += sum(
+                1 for call in caller.calls
+                if self.resolve_call(caller, call) is None
+            )
+            if not targets:
+                continue
+            lines.append(f"{qual}  ({caller.path}:{caller.line})")
+            for callee, line in targets:
+                lines.append(f"  -> {callee}  (line {line})")
+        lines.append(
+            f"{len(self.functions)} function(s), "
+            f"{sum(len(v) for v in edges.values())} project edge(s), "
+            f"{external} external call site(s)"
+        )
+        return "\n".join(lines)

@@ -8,6 +8,7 @@ top-level CLI stays a thin argument shim.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -19,8 +20,9 @@ from repro.staticlint.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.staticlint.engine import analyze_source, iter_python_files
-from repro.staticlint.registry import LintConfig, all_rules, selected_rules
+from repro.staticlint.cache import DEFAULT_CACHE_NAME
+from repro.staticlint.engine import analyze_project, iter_python_files
+from repro.staticlint.registry import LintConfig, all_rules
 from repro.staticlint.reporters import LintReport, rule_catalogue
 
 
@@ -31,7 +33,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files/directories to analyze (default: src)",
     )
     parser.add_argument(
-        "--format", default="text", choices=["text", "json"],
+        "--format", default="text", choices=["text", "json", "sarif"],
         help="report format",
     )
     parser.add_argument(
@@ -61,6 +63,33 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--call-graph", action="store_true",
+        help="print the whole-program call graph and exit",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE_OR_FINGERPRINT",
+        help=(
+            "print the source->sink path for matching findings "
+            "(a rule id or a fingerprint prefix)"
+        ),
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None,
+        metavar="GIT_REF",
+        help=(
+            "lint only files modified vs. a git ref (default HEAD) "
+            "plus untracked files; intersected with the given paths"
+        ),
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_NAME, default=None,
+        metavar="PATH",
+        help=(
+            "cache per-module analysis by content hash "
+            f"(default path: ./{DEFAULT_CACHE_NAME})"
+        ),
+    )
 
 
 def build_report(
@@ -68,21 +97,23 @@ def build_report(
     config: Optional[LintConfig] = None,
     baseline_path: Optional[str] = None,
     strict: bool = False,
+    cache_path: Optional[str] = None,
+    need_context: bool = False,
 ) -> LintReport:
-    """Analyze ``paths`` and fold in the baseline -- the API the
-    self-scan test uses directly."""
-    config = config or LintConfig()
-    selected_rules(config)  # fail fast on unknown --select ids
-    files = iter_python_files(paths)
-    findings = []
-    for path in files:
-        findings.extend(
-            analyze_source(
-                path.read_text(encoding="utf-8"),
-                path=str(path),
-                config=config,
-            )
-        )
+    """Analyze ``paths`` (lexical + whole-program rules) and fold in
+    the baseline -- the API the self-scan test uses directly.
+
+    ``cache_path`` enables the content-hash analysis cache;
+    ``need_context`` materializes the call-graph index on the report
+    even when every result came from the cache.
+    """
+    analysis = analyze_project(
+        paths,
+        config=config,
+        cache_path=cache_path,
+        need_context=need_context,
+    )
+    findings = analysis.findings
     baseline = load_baseline(baseline_path) if baseline_path else None
     if baseline is not None:
         findings, stale = apply_baseline(findings, baseline)
@@ -91,8 +122,14 @@ def build_report(
     return LintReport(
         findings=findings,
         stale_baseline=stale,
-        files_checked=len(files),
+        files_checked=len(analysis.files),
         strict=strict,
+        context=analysis.context,
+        cache_stats=(
+            {"hits": analysis.cache_hits, "misses": analysis.cache_misses}
+            if cache_path is not None
+            else None
+        ),
     )
 
 
@@ -118,6 +155,60 @@ def run_lint(args: argparse.Namespace) -> int:
         return 2
 
 
+def _changed_files(ref: str, paths: Sequence[str]) -> List[str]:
+    """Python files under ``paths`` modified vs. ``ref`` or untracked."""
+    changed = set()
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--", "*.py"],
+        ["git", "ls-files", "--others", "--exclude-standard",
+         "--", "*.py"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.SubprocessError) as exc:
+            raise ConfigurationError(f"--changed needs git: {exc}")
+        if proc.returncode != 0:
+            raise ConfigurationError(
+                f"--changed: {' '.join(cmd)} failed: "
+                + proc.stderr.strip()
+            )
+        for name in proc.stdout.splitlines():
+            name = name.strip()
+            if name:
+                changed.add(Path(name).resolve())
+    return [
+        str(path)
+        for path in iter_python_files(paths)
+        if path.resolve() in changed
+    ]
+
+
+def _explain(report: LintReport, token: str) -> None:
+    matched = [
+        f for f in report.findings
+        if f.rule_id == token or f.fingerprint().startswith(token)
+    ]
+    if not matched:
+        print(f"no finding matches {token!r}")
+        return
+    for finding in sorted(
+        matched, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+    ):
+        print(finding.render())
+        if finding.suppressed:
+            print("    (suppressed in source)")
+        if finding.baselined:
+            print("    (accepted in the baseline)")
+        if finding.trace:
+            print("    path:")
+            for index, step in enumerate(finding.trace, start=1):
+                print(f"      {index}. {step}")
+        else:
+            print("    (lexical finding: no interprocedural path)")
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(rule_catalogue(all_rules()))
@@ -137,9 +228,21 @@ def _run_lint(args: argparse.Namespace) -> int:
         )
     config = LintConfig(select=select)
 
+    paths = list(args.paths)
+    if args.changed is not None:
+        paths = _changed_files(args.changed, paths)
+        if not paths:
+            print(
+                f"no python files changed vs. {args.changed}; "
+                "nothing to lint"
+            )
+            return 0
+
     if args.write_baseline:
         target = args.baseline or DEFAULT_BASELINE_NAME
-        report = build_report(args.paths, config=config)
+        report = build_report(
+            paths, config=config, cache_path=args.cache
+        )
         accepted = write_baseline(
             target,
             [f for f in report.findings if not f.suppressed],
@@ -150,11 +253,19 @@ def _run_lint(args: argparse.Namespace) -> int:
         return 0
 
     report = build_report(
-        args.paths,
+        paths,
         config=config,
         baseline_path=_default_baseline(args),
         strict=args.strict,
+        cache_path=args.cache,
+        need_context=args.call_graph,
     )
+    if args.call_graph:
+        print(report.context.index.render())
+        return 0
+    if args.explain is not None:
+        _explain(report, args.explain)
+        return report.exit_code
     print(report.render(args.format))
     return report.exit_code
 

@@ -75,6 +75,51 @@ class ModuleContext:
         return ".".join(reversed(parts))
 
 
+@dataclass
+class ProjectContext:
+    """Everything a whole-program rule sees: every module's summary,
+    the call graph index over them, and the raw lines (for snippets
+    and suppression handling).  Keyed by each module's display path."""
+
+    summaries: Dict[str, "ModuleSummary"]  # display path -> summary
+    index: "ProjectIndex"
+    config: LintConfig
+    lines: Dict[str, List[str]]  # display path -> source lines
+
+    def path_in_scope(self, path: str, patterns: Sequence[str]) -> bool:
+        norm = Path(path).as_posix()
+        return any(pattern in norm for pattern in patterns)
+
+    def line_text(self, path: str, line: int) -> str:
+        lines = self.lines.get(path, [])
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        trace: Sequence[str] = (),
+        hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding for a whole-program rule at a location."""
+        return Finding(
+            rule_id=rule.id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            hint=rule.hint if hint is None else hint,
+            severity=rule.severity,
+            line_text=self.line_text(path, line),
+            trace=tuple(trace),
+        )
+
+
 def build_import_map(tree: ast.AST) -> Dict[str, str]:
     """Map local names to the dotted names they import."""
     mapping: Dict[str, str] = {}
@@ -179,44 +224,55 @@ def _number_occurrences(findings: List[Finding]) -> List[Finding]:
 # ---------------------------------------------------------------------------
 
 
+def _parse_module(
+    source: str, path: str, config: LintConfig
+) -> Tuple[Optional[ModuleContext], Optional[Finding]]:
+    """Parse one module; (context, None) or (None, parse-error)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return None, Finding(
+            rule_id=PARSE_ERROR_RULE,
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"could not parse module: {exc.msg}",
+            hint="fix the syntax error; unparseable code is unchecked",
+            severity=Severity.ERROR,
+            line_text=(exc.text or "").strip(),
+        )
+    return ModuleContext(
+        path=path,
+        norm=Path(path).as_posix(),
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+        config=config,
+        import_map=build_import_map(tree),
+    ), None
+
+
+def _lexical_findings(ctx: ModuleContext) -> List[Finding]:
+    """Run the lexical rules over one parsed module, finished
+    (occurrence-numbered and suppression-marked)."""
+    findings: List[Finding] = []
+    for rule in selected_rules(ctx.config):
+        findings.extend(rule.check(ctx))
+    findings = _number_occurrences(findings)
+    return _apply_suppressions(findings, suppressed_lines(ctx.lines))
+
+
 def analyze_source(
     source: str,
     path: str = "<string>",
     config: Optional[LintConfig] = None,
 ) -> List[Finding]:
-    """Run the selected rules over one module's source text."""
+    """Run the selected lexical rules over one module's source text."""
     config = config or LintConfig()
-    norm = Path(path).as_posix()
-    lines = source.splitlines()
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id=PARSE_ERROR_RULE,
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                message=f"could not parse module: {exc.msg}",
-                hint="fix the syntax error; unparseable code is unchecked",
-                severity=Severity.ERROR,
-                line_text=(exc.text or "").strip(),
-            )
-        ]
-    ctx = ModuleContext(
-        path=path,
-        norm=norm,
-        source=source,
-        lines=lines,
-        tree=tree,
-        config=config,
-        import_map=build_import_map(tree),
-    )
-    findings: List[Finding] = []
-    for rule in selected_rules(config):
-        findings.extend(rule.check(ctx))
-    findings = _number_occurrences(findings)
-    return _apply_suppressions(findings, suppressed_lines(lines))
+    ctx, parse_error = _parse_module(source, path, config)
+    if parse_error is not None:
+        return [parse_error]
+    return _lexical_findings(ctx)
 
 
 def iter_python_files(paths: Sequence[str]) -> List[Path]:
@@ -236,7 +292,12 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
 def analyze_paths(
     paths: Sequence[str], config: Optional[LintConfig] = None
 ) -> List[Finding]:
-    """Analyze every ``.py`` file under ``paths``."""
+    """Run the lexical rules over every ``.py`` file under ``paths``.
+
+    Whole-program rules need the project view; use
+    :func:`analyze_project` (or :func:`repro.staticlint.cli.
+    build_report`) to run those as well.
+    """
     findings: List[Finding] = []
     for path in iter_python_files(paths):
         findings.extend(
@@ -247,3 +308,148 @@ def analyze_paths(
             )
         )
     return findings
+
+
+# ---------------------------------------------------------------------------
+# Whole-program analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProjectAnalysis:
+    """One whole-project run: lexical + interprocedural findings."""
+
+    findings: List[Finding]
+    files: List[Path]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: set when the summaries/index were materialized (always on a
+    #: cold project pass; on a fully-cached run only if requested)
+    context: Optional[ProjectContext] = None
+
+
+def _finish_project_findings(
+    findings: List[Finding], lines_by_path: Dict[str, List[str]]
+) -> List[Finding]:
+    """Occurrence-number and suppression-mark interproc findings."""
+    findings = _number_occurrences(findings)
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    out: List[Finding] = []
+    for path in sorted(by_path):
+        allowed = suppressed_lines(lines_by_path.get(path, []))
+        out.extend(_apply_suppressions(by_path[path], allowed))
+    return out
+
+
+def analyze_project(
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    cache_path: Optional[str] = None,
+    need_context: bool = False,
+) -> ProjectAnalysis:
+    """Analyze ``paths`` as one project: the lexical rules per module
+    plus the whole-program (interprocedural) rules over all of them.
+
+    With ``cache_path``, per-module results are keyed by content hash
+    (an unchanged file skips parsing and every lexical rule) and the
+    interprocedural findings are keyed by the hash of all module
+    hashes (an unchanged *tree* skips the taint fixpoint too).
+    ``need_context`` forces the summaries/call-graph index to be
+    materialized even on a fully-cached run (``--call-graph``).
+    """
+    from repro.staticlint.cache import (
+        LintCache,
+        content_hash,
+        schema_hash,
+    )
+    from repro.staticlint.callgraph import ProjectIndex
+    from repro.staticlint.registry import (
+        all_rules,
+        selected_project_rules,
+    )
+    from repro.staticlint.symbols import (
+        ModuleSummary,
+        extract_module_summary,
+    )
+
+    config = config or LintConfig()
+    selected_rules(config)  # fail fast on unknown --select ids
+    files = iter_python_files(paths)
+    roots = sorted(
+        Path(entry).as_posix() for entry in paths if Path(entry).is_dir()
+    )
+    cache: Optional[LintCache] = None
+    if cache_path is not None:
+        cache = LintCache(
+            cache_path,
+            schema_hash(config, [r.id for r in all_rules()]),
+        )
+
+    module_findings: List[Finding] = []
+    summaries_raw: Dict[str, Dict] = {}  # display path -> summary dict
+    lines_by_path: Dict[str, List[str]] = {}
+    hashes: Dict[str, str] = {}
+    for file in files:
+        path = str(file)
+        norm = file.as_posix()
+        source = file.read_text(encoding="utf-8")
+        stamp = content_hash(source)
+        hashes[norm] = stamp
+        lines_by_path[path] = source.splitlines()
+        entry = cache.get_module(norm, stamp) if cache else None
+        if entry is not None:
+            findings, summary_dict = entry
+        else:
+            ctx, parse_error = _parse_module(source, path, config)
+            if parse_error is not None:
+                findings = [parse_error]
+                summary_dict = ModuleSummary(
+                    path=path, module="<unparsed>"
+                ).to_dict()
+            else:
+                findings = _lexical_findings(ctx)
+                summary_dict = extract_module_summary(
+                    ctx.tree, path, roots=roots,
+                    import_map=ctx.import_map,
+                ).to_dict()
+            if cache is not None:
+                cache.put_module(norm, stamp, findings, summary_dict)
+        module_findings.extend(findings)
+        summaries_raw[path] = summary_dict
+
+    project_key = cache.project_key(hashes) if cache else ""
+    project_findings = (
+        cache.get_project(project_key) if cache else None
+    )
+    context: Optional[ProjectContext] = None
+    if project_findings is None or need_context:
+        summaries = {
+            path: ModuleSummary.from_dict(raw)
+            for path, raw in summaries_raw.items()
+        }
+        context = ProjectContext(
+            summaries=summaries,
+            index=ProjectIndex.build(list(summaries.values())),
+            config=config,
+            lines=lines_by_path,
+        )
+        if project_findings is None:
+            raw_findings: List[Finding] = []
+            for prule in selected_project_rules(config):
+                raw_findings.extend(prule.check(context))
+            project_findings = _finish_project_findings(
+                raw_findings, lines_by_path
+            )
+            if cache is not None:
+                cache.put_project(project_key, project_findings)
+    if cache is not None:
+        cache.save()
+    return ProjectAnalysis(
+        findings=module_findings + project_findings,
+        files=files,
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else len(files),
+        context=context,
+    )

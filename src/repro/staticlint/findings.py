@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
 
 class Severity(enum.Enum):
@@ -45,6 +45,9 @@ class Finding:
     suppressed: bool = field(default=False, compare=False)
     #: True when the committed baseline covers this finding
     baselined: bool = field(default=False, compare=False)
+    #: interprocedural source->sink path (whole-program rules only);
+    #: excluded from the fingerprint so baselines stay stable
+    trace: Tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def location(self) -> str:
@@ -68,7 +71,28 @@ class Finding:
             "fingerprint": self.fingerprint(),
             "suppressed": self.suppressed,
             "baselined": self.baselined,
+            "line_text": self.line_text,
+            "occurrence": self.occurrence,
+            "trace": list(self.trace),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (the analysis cache round-trip)."""
+        return cls(
+            rule_id=data["rule"],
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+            hint=data.get("hint", ""),
+            severity=Severity(data["severity"]),
+            line_text=data.get("line_text", ""),
+            occurrence=data.get("occurrence", 0),
+            suppressed=data.get("suppressed", False),
+            baselined=data.get("baselined", False),
+            trace=tuple(data.get("trace", ())),
+        )
 
     def render(self) -> str:
         text = (

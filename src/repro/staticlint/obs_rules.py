@@ -41,6 +41,45 @@ def _span_calls(func: ast.AST, attr: str) -> List[ast.Call]:
     return calls
 
 
+def _transferred_begins(func: ast.AST) -> List[ast.Call]:
+    """Begin calls whose handle the function *returns* -- ownership
+    moves to the caller, so the local body legitimately never ends
+    them (obs-span-leak-interproc polices the caller instead)."""
+    returned_names = set()
+    returned_call_ids = set()
+    for node in walk_scope(func):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        if isinstance(node.value, ast.Name):
+            returned_names.add(node.value.id)
+        elif isinstance(node.value, ast.Call):
+            returned_call_ids.add(id(node.value))
+    transferred = []
+    for node in walk_scope(func):
+        if isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Call
+        ):
+            call = node.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == _BEGIN
+                and any(
+                    isinstance(target, ast.Name)
+                    and target.id in returned_names
+                    for target in node.targets
+                )
+            ):
+                transferred.append(call)
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == _BEGIN
+                and id(node) in returned_call_ids
+            ):
+                transferred.append(node)
+    return transferred
+
+
 @rule(
     id="obs-span-leak",
     family="observability",
@@ -68,6 +107,8 @@ def check_span_leak(ctx: ModuleContext) -> Iterable:
             continue
         begins = _span_calls(func, _BEGIN)
         ends = _span_calls(func, _END)
+        transferred = {id(call) for call in _transferred_begins(func)}
+        begins = [call for call in begins if id(call) not in transferred]
         if len(begins) == len(ends):
             continue
         if len(begins) > len(ends):

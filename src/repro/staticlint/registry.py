@@ -15,7 +15,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.staticlint.findings import Finding, Severity
 
-#: a check takes the module context and yields findings
+#: a lexical check takes one module context and yields findings; a
+#: whole-program check takes the :class:`~repro.staticlint.engine.
+#: ProjectContext` spanning every analyzed module
 CheckFn = Callable[["ModuleContext"], Iterable[Finding]]
 
 
@@ -71,6 +73,9 @@ class Rule:
     rationale: str
     hint: str
     check: CheckFn = field(compare=False)
+    #: True for interprocedural rules run once over the whole project
+    #: (their check receives a ProjectContext, not a ModuleContext)
+    whole_program: bool = False
 
     def finding(
         self,
@@ -127,6 +132,39 @@ def rule(
     return decorate
 
 
+def project_rule(
+    id: str,
+    family: str,
+    severity: Severity,
+    summary: str,
+    rationale: str,
+    hint: str,
+) -> Callable[[CheckFn], CheckFn]:
+    """Decorator registering a whole-program (interprocedural) rule.
+
+    The decorated check receives the :class:`~repro.staticlint.engine.
+    ProjectContext` built over every analyzed module and yields
+    findings anywhere in the project.
+    """
+
+    def decorate(check: CheckFn) -> CheckFn:
+        if id in _REGISTRY:
+            raise ConfigurationError(f"duplicate rule id {id!r}")
+        _REGISTRY[id] = Rule(
+            id=id,
+            family=family,
+            severity=severity,
+            summary=summary,
+            rationale=rationale,
+            hint=hint,
+            check=check,
+            whole_program=True,
+        )
+        return check
+
+    return decorate
+
+
 def all_rules() -> List[Rule]:
     """Every registered rule, ordered by family then id."""
     _load_rule_modules()
@@ -145,7 +183,16 @@ def get_rule(rule_id: str) -> Rule:
 
 
 def selected_rules(config: LintConfig) -> List[Rule]:
-    """The rules a run executes, honoring ``config.select``."""
+    """The lexical rules a per-module pass executes."""
+    return [r for r in _selected(config) if not r.whole_program]
+
+
+def selected_project_rules(config: LintConfig) -> List[Rule]:
+    """The whole-program rules the project pass executes."""
+    return [r for r in _selected(config) if r.whole_program]
+
+
+def _selected(config: LintConfig) -> List[Rule]:
     rules = all_rules()
     if config.select is None:
         return rules
@@ -166,4 +213,5 @@ def _load_rule_modules() -> None:
         determinism,
         obs_rules,
         perf_rules,
+        taint_rules,
     )

@@ -11,8 +11,8 @@ The exit-code policy lives here so the CLI and tests share it:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.staticlint.baseline import BaselineEntry
 from repro.staticlint.findings import Finding, Severity
@@ -26,6 +26,13 @@ class LintReport:
     stale_baseline: List[BaselineEntry]
     files_checked: int
     strict: bool = False
+    #: the whole-program view (summaries + call-graph index) when it
+    #: was materialized -- drives --call-graph and --explain
+    context: Optional[object] = field(default=None, compare=False)
+    #: analysis-cache hit/miss counters when a cache was active
+    cache_stats: Optional[Dict[str, int]] = field(
+        default=None, compare=False
+    )
 
     # -- verdict --------------------------------------------------------
 
@@ -119,9 +126,17 @@ class LintReport:
             sort_keys=True,
         )
 
+    def render_sarif(self) -> str:
+        from repro.staticlint.registry import all_rules
+        from repro.staticlint.sarif import render_sarif
+
+        return render_sarif(self.findings, all_rules())
+
     def render(self, fmt: str = "text") -> str:
         if fmt == "json":
             return self.render_json()
+        if fmt == "sarif":
+            return self.render_sarif()
         return self.render_text()
 
 
