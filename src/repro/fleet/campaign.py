@@ -100,6 +100,13 @@ class RunSpec:
     #: from to_dict()/run_id when empty, same identity-stability rule
     #: as ``faults``.
     service: str = ""
+    # -- service-level objectives ----------------------------------------
+    #: SLO DSL ("firealarm" / "latency:ra.round_trip.latency<0.5@0.99")
+    #: evaluated by a sim-time :class:`~repro.obs.slo.SLOEngine` during
+    #: the run; the engine summary lands in ``RunResult.slo``.  Excluded
+    #: from to_dict()/run_id when empty, same identity-stability rule
+    #: as ``faults``.
+    slo: str = ""
 
     def __post_init__(self) -> None:
         if self.mechanism not in KNOWN_MECHANISMS:
@@ -132,6 +139,10 @@ class RunSpec:
             from repro.vserver.service import ServiceConfig
 
             ServiceConfig.parse(self.service)
+        if self.slo:
+            from repro.obs.slo import parse_objectives
+
+            parse_objectives(self.slo)
 
     # -- identity -------------------------------------------------------
 
@@ -141,6 +152,8 @@ class RunSpec:
             del data["faults"]
         if not data["service"]:
             del data["service"]
+        if not data["slo"]:
+            del data["slo"]
         return data
 
     @classmethod

@@ -45,6 +45,7 @@ from repro.fleet.clock import perf_time
 from repro.fleet.telemetry import (
     STATUS_ERROR,
     STATUS_TIMEOUT,
+    ExchangeSketch,
     RunResult,
     failure_result,
     verdict_histogram,
@@ -139,6 +140,62 @@ def _qoa_stats(spec: RunSpec) -> Dict[str, float]:
     return stats
 
 
+def _attach_slo(
+    spec: RunSpec, obs: Any, sim: Any, until: float, tasks: Sequence[Any] = ()
+) -> Optional[Any]:
+    """Arm the sim-time SLO engine when the spec declares objectives.
+
+    The ``deadline`` probe bridges task deadline accounting (which
+    lives in :class:`~repro.sim.task.TaskStats`, not the metrics
+    registry) into the engine's ``(good, total)`` source model.
+    """
+    if not spec.slo:
+        return None
+    from repro.obs.slo import SLOEngine, parse_objectives
+
+    engine = SLOEngine(obs, parse_objectives(spec.slo))
+    if tasks:
+        task_list = list(tasks)
+
+        def deadline_probe():
+            good = total = 0
+            for task in task_list:
+                stats = task.stats(as_of=sim.now)
+                total += stats.jobs_released
+                good += stats.jobs_released - stats.deadline_misses
+            return good, total
+
+        engine.register_probe("deadline", deadline_probe)
+    engine.attach(sim, until=until)
+    return engine
+
+
+def _trace_summary(obs: Any) -> Dict[str, Any]:
+    """Fold a span-enabled run's capture into the mergeable shape the
+    cross-shard reducer consumes; empty on metrics-only runs so the
+    deterministic artifact projection is untouched."""
+    if not getattr(obs.spans, "enabled", False):
+        return {}
+    from repro.obs.report import exchange_records, exemplar_table
+
+    sketch = ExchangeSketch()
+    traces = set()
+    for record in exchange_records(obs.spans):
+        sketch.observe(
+            record["latency"], record["trace_id"], record["name"]
+        )
+        traces.add(record["trace_id"])
+    summary: Dict[str, Any] = {
+        "spans": len(obs.spans),
+        "traces": len(traces),
+        "exchanges": sketch.to_dict(),
+    }
+    exemplars = exemplar_table(obs.metrics)
+    if exemplars:
+        summary["exemplars"] = exemplars
+    return summary
+
+
 def _execute_service_run(spec: RunSpec, obs: Optional[Any]) -> RunResult:
     """Worker path for the ``vserver`` mechanism: one served-verifier
     scenario (storm + admission + epoch drains) instead of a single
@@ -162,6 +219,7 @@ def _execute_service_run(spec: RunSpec, obs: Optional[Any]) -> RunResult:
         config, seed=f"{config.seed}-s{spec.seed:04d}"
     )
     scenario = build_service_scenario(config, obs=obs)
+    slo_engine = _attach_slo(spec, obs, scenario.sim, config.horizon)
     sim_time = scenario.sim.run(until=config.horizon)
     server = scenario.server
     stats = server.stats()
@@ -204,6 +262,8 @@ def _execute_service_run(spec: RunSpec, obs: Optional[Any]) -> RunResult:
         auth_ops=stats["verified"],
         telemetry=obs.metrics.snapshot_flat(),
         outcomes=outcome_data,
+        trace_summary=_trace_summary(obs),
+        slo=slo_engine.summary() if slo_engine else {},
         sim_time=sim_time,
     )
 
@@ -277,6 +337,7 @@ def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
             spec.t_c, max(1, int(spec.horizon / spec.t_c))
         )
 
+    slo_engine = _attach_slo(spec, obs, sim, spec.horizon, tasks=tasks)
     sim_time = sim.run(until=spec.horizon)
 
     # -- fold the scenario into telemetry -------------------------------
@@ -342,6 +403,8 @@ def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
         trace_dropped=device.trace.dropped,
         telemetry=obs.metrics.snapshot_flat(),
         outcomes=outcome_data,
+        trace_summary=_trace_summary(obs),
+        slo=slo_engine.summary() if slo_engine else {},
         sim_time=sim_time,
     )
 

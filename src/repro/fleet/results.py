@@ -31,7 +31,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.fleet.campaign import CampaignSpec, RunSpec
 from repro.fleet.clock import ClockFn, wall_time
-from repro.fleet.telemetry import RunResult
+from repro.fleet.telemetry import ExchangeSketch, RunResult
 
 MANIFEST_VERSION = 1
 
@@ -117,9 +117,45 @@ class GroupSummary:
     detection_probabilities: List[float] = field(default_factory=list)
     #: summed sim-time metric snapshots (repro.obs) across ok runs
     telemetry_totals: Dict[str, float] = field(default_factory=dict)
+    #: merged per-shard exchange sketches (span-enabled runs only);
+    #: None until the first run contributes one, so default campaigns
+    #: serialize exactly their historical summaries
+    exchange_sketch: Optional[ExchangeSketch] = None
+    #: distinct traces observed across contributing runs
+    traces: int = 0
+    #: SLO burn-rate alerts fired across contributing runs
+    slo_alerts: int = 0
+    #: runs whose SLO summary reported an unmet objective
+    slo_violations: int = 0
     #: runs served from the incremental artifact cache; volatile, so
     #: excluded from the serialized summary (see :meth:`to_dict`)
     cache_hits: int = 0
+
+    def fold_trace_summary(self, summary: Dict[str, Any]) -> None:
+        """Merge one run's ``trace_summary`` without rehydrating spans."""
+        if not summary:
+            return
+        self.traces += int(summary.get("traces", 0))
+        exchanges = summary.get("exchanges")
+        if exchanges:
+            sketch = ExchangeSketch.from_dict(exchanges)
+            if self.exchange_sketch is None:
+                self.exchange_sketch = sketch
+            else:
+                self.exchange_sketch.merge(sketch)
+
+    def fold_slo(self, slo: Dict[str, Any]) -> None:
+        if not slo:
+            return
+        self.slo_alerts += sum(
+            1 for alert in slo.get("alerts", ())
+            if alert.get("transition") == "firing"
+        )
+        if any(
+            not objective.get("met", True)
+            for objective in slo.get("objectives", {}).values()
+        ):
+            self.slo_violations += 1
 
     @property
     def detection_rate(self) -> float:
@@ -141,6 +177,15 @@ class GroupSummary:
 
     def to_dict(self) -> Dict[str, Any]:
         data = asdict(self)
+        # the sketch serializes through its own canonical form; keys
+        # appear only when traced runs contributed, so untraced
+        # campaigns keep their historical summary bytes
+        data.pop("exchange_sketch", None)
+        for optional in ("traces", "slo_alerts", "slo_violations"):
+            if not data.get(optional):
+                data.pop(optional, None)
+        if self.exchange_sketch is not None and self.exchange_sketch.count:
+            data["exchanges"] = self.exchange_sketch.to_dict()
         data["detection_rate"] = self.detection_rate
         data["mean_miss_rate"] = self.mean_miss_rate
         data["latency_percentiles"] = self.latency_percentiles()
@@ -255,6 +300,8 @@ def summarize(
             group.telemetry_totals[name] = (
                 group.telemetry_totals.get(name, 0.0) + value
             )
+        group.fold_trace_summary(result.trace_summary)
+        group.fold_slo(result.slo)
     return CampaignSummary(
         campaign=campaign, groups=groups, total_runs=total
     )

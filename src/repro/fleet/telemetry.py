@@ -32,6 +32,128 @@ STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 
+#: fixed bucket bounds every :class:`ExchangeSketch` shares -- merging
+#: across shards requires identical geometry, so these are a protocol
+#: constant, not a knob
+SKETCH_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+)
+
+#: how many slowest exchanges a sketch remembers by trace_id
+SKETCH_TOP_K = 5
+
+
+class ExchangeSketch:
+    """Mergeable bounded-memory summary of per-exchange latencies.
+
+    The cross-shard reducer's unit of exchange telemetry: fixed-size
+    bucket counts (shared :data:`SKETCH_BUCKETS` geometry) plus a
+    top-K list of the slowest exchanges with their trace ids, so a
+    million-exchange campaign folds into ``GroupSummary`` without any
+    shard ever shipping full traces.  ``merge`` is associative and
+    commutative over everything except top-K tie order, which is made
+    deterministic by the (latency desc, trace_id asc) sort.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "bucket_counts", "top")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.bucket_counts = [0] * (len(SKETCH_BUCKETS) + 1)
+        #: [(latency, trace_id, label), ...] slowest-first, <= TOP_K
+        self.top: List[List[Any]] = []
+
+    def observe(self, latency: float, trace_id: str = "",
+                label: str = "") -> None:
+        latency = float(latency)
+        index = len(SKETCH_BUCKETS)
+        for i, bound in enumerate(SKETCH_BUCKETS):
+            if latency <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += latency
+        if latency < self.min:
+            self.min = latency
+        if latency > self.max:
+            self.max = latency
+        # repro: allow[perf-unbounded-queue] -- _trim() caps at TOP_K
+        self.top.append([latency, trace_id, label])
+        self._trim()
+
+    def _trim(self) -> None:
+        self.top.sort(key=lambda row: (-row[0], row[1], row[2]))
+        del self.top[SKETCH_TOP_K:]
+
+    def merge(self, other: "ExchangeSketch") -> "ExchangeSketch":
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+        for i, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += bucket
+        # repro: allow[perf-unbounded-queue] -- _trim() caps at TOP_K
+        self.top.extend(list(row) for row in other.top)
+        self._trim()
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (upper bound of the containing
+        bucket, clamped to the observed max)."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket in enumerate(self.bucket_counts):
+            cumulative += bucket
+            if bucket and cumulative >= rank:
+                if i == len(SKETCH_BUCKETS):
+                    return self.max
+                return min(SKETCH_BUCKETS[i], self.max)
+        return self.max
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "min": round(self.min, 9) if self.count else 0.0,
+            "max": round(self.max, 9) if self.count else 0.0,
+            "buckets": list(self.bucket_counts),
+            "top": [
+                [round(latency, 9), trace_id, label]
+                for latency, trace_id, label in self.top
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExchangeSketch":
+        sketch = cls()
+        sketch.count = int(data.get("count", 0))
+        sketch.sum = float(data.get("sum", 0.0))
+        if sketch.count:
+            sketch.min = float(data.get("min", 0.0))
+            sketch.max = float(data.get("max", 0.0))
+        buckets = data.get("buckets") or []
+        if len(buckets) == len(sketch.bucket_counts):
+            sketch.bucket_counts = [int(b) for b in buckets]
+        sketch.top = [
+            [float(row[0]), str(row[1]), str(row[2])]
+            for row in (data.get("top") or [])
+        ]
+        sketch._trim()
+        return sketch
+
 
 @dataclass
 class RunResult:
@@ -72,6 +194,15 @@ class RunResult:
     #: from serialization when empty so fault-free artifacts keep their
     #: historical byte-identical form
     outcomes: Dict[str, Any] = field(default_factory=dict)
+    # -- causal tracing ---------------------------------------------------
+    #: exchange-trace summary (span-enabled runs only): distinct trace
+    #: count, an :class:`ExchangeSketch` dict, exemplar tables.  Empty
+    #: on default metrics-only runs and excluded from serialization,
+    #: same byte-identity rule as ``outcomes``
+    trace_summary: Dict[str, Any] = field(default_factory=dict)
+    #: SLO engine summary (``RunSpec.slo`` runs only); same empty-drop
+    #: rule
+    slo: Dict[str, Any] = field(default_factory=dict)
     # -- time ------------------------------------------------------------
     sim_time: float = 0.0
     wall_clock: float = 0.0  # volatile
@@ -90,6 +221,10 @@ class RunResult:
         data["telemetry"] = dict(sorted(self.telemetry.items()))
         if not data["outcomes"]:
             del data["outcomes"]
+        if not data["trace_summary"]:
+            del data["trace_summary"]
+        if not data["slo"]:
+            del data["slo"]
         if deterministic:
             for name in VOLATILE_FIELDS:
                 data.pop(name, None)

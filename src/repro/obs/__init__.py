@@ -23,7 +23,14 @@ from repro.obs.profiler import (
     SiteStats,
     callback_site,
 )
+from repro.obs.slo import (
+    SLO_PRESETS,
+    SLOEngine,
+    SLObjective,
+    parse_objectives,
+)
 from repro.obs.spans import NULL_TRACKER, NullSpanTracker, Span, SpanTracker
+from repro.obs.tracectx import TraceContext, mint_trace_id
 
 __all__ = [
     "NULL_OBS",
@@ -41,9 +48,15 @@ __all__ = [
     "NullProfiler",
     "NullSpanTracker",
     "Observability",
+    "SLO_PRESETS",
+    "SLOEngine",
+    "SLObjective",
     "Span",
     "SpanTracker",
     "SiteStats",
+    "TraceContext",
+    "mint_trace_id",
+    "parse_objectives",
     "callback_site",
     "chrome_trace_events",
     "to_prometheus_text",

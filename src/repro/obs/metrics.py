@@ -20,6 +20,7 @@ Exporters:
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
@@ -98,7 +99,7 @@ class Histogram:
 
     __slots__ = (
         "name", "labels", "bounds", "bucket_counts", "count", "sum",
-        "min", "max", "updated_at", "_clock",
+        "min", "max", "updated_at", "_clock", "_exemplars",
     )
 
     kind = "histogram"
@@ -123,14 +124,15 @@ class Histogram:
         self.max = float("-inf")
         self.updated_at = 0.0
         self._clock = clock
+        # bucket index -> (value, trace_id, observed_at); lazily
+        # allocated so untraced histograms pay nothing.
+        self._exemplars: Optional[Dict[int, Tuple[float, str, float]]] = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         value = float(value)
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                index = i
-                break
+        # first bound >= value, or the trailing +Inf slot -- bisect is
+        # the C-speed version of the linear "value <= bound" scan
+        index = bisect_left(self.bounds, value)
         self.bucket_counts[index] += 1
         self.count += 1
         self.sum += value
@@ -139,6 +141,15 @@ class Histogram:
         if value > self.max:
             self.max = value
         self.updated_at = self._clock()
+        if exemplar is not None:
+            # Keep the *slowest* observation per bucket: exemplars
+            # exist to answer "which exchange is my p99", so within a
+            # bucket the worst case is the interesting trace.
+            if self._exemplars is None:
+                self._exemplars = {}
+            current = self._exemplars.get(index)
+            if current is None or value >= current[0]:
+                self._exemplars[index] = (value, exemplar, self.updated_at)
 
     @property
     def mean(self) -> float:
@@ -197,6 +208,67 @@ class Histogram:
             total += bucket
             out.append(total)
         return out
+
+    # -- exemplars ------------------------------------------------------
+    #
+    # Exemplars bind a latency observation back to the trace_id of the
+    # exchange that produced it (OpenMetrics-style).  They are kept out
+    # of sample()/snapshot_flat()/the Prometheus text so every golden
+    # artifact stays byte-identical; consumers opt in via exemplars().
+
+    def exemplars(self) -> List[Dict[str, Any]]:
+        """Per-bucket exemplars, ascending by bucket bound."""
+        if not self._exemplars:
+            return []
+        out = []
+        for index in sorted(self._exemplars):
+            value, trace_id, at = self._exemplars[index]
+            bound = (
+                "+Inf" if index == len(self.bounds)
+                else repr(self.bounds[index])
+            )
+            out.append({
+                "bucket": bound,
+                "value": value,
+                "trace_id": trace_id,
+                "observed_at": at,
+            })
+        return out
+
+    def exemplar_for_quantile(self, q: float) -> Optional[Dict[str, Any]]:
+        """The exemplar nearest the bucket containing the q-quantile.
+
+        Answers "show me a p99 exchange": finds the bucket the
+        quantile rank lands in, then the closest bucket at-or-above it
+        that holds an exemplar (falling back downward), so a sparse
+        exemplar set still resolves.  ``None`` when no exemplars exist.
+        """
+        if not self._exemplars or not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile q must be in [0, 1]")
+        rank = q * self.count
+        cumulative = 0
+        target = len(self.bounds)
+        for i, bucket in enumerate(self.bucket_counts):
+            cumulative += bucket
+            if bucket and cumulative >= rank:
+                target = i
+                break
+        indices = sorted(self._exemplars)
+        at_or_above = [i for i in indices if i >= target]
+        chosen = at_or_above[0] if at_or_above else indices[-1]
+        value, trace_id, at = self._exemplars[chosen]
+        bound = (
+            "+Inf" if chosen == len(self.bounds)
+            else repr(self.bounds[chosen])
+        )
+        return {
+            "bucket": bound,
+            "value": value,
+            "trace_id": trace_id,
+            "observed_at": at,
+        }
 
 
 class MetricsRegistry:
@@ -331,8 +403,15 @@ class _NullInstrument:
     def add(self, amount: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[str] = None) -> None:
         pass
+
+    def exemplars(self) -> List[Dict[str, Any]]:
+        return []
+
+    def exemplar_for_quantile(self, q: float) -> Optional[Dict[str, Any]]:
+        return None
 
     def sample(self) -> Dict[str, Any]:
         return {}

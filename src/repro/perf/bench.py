@@ -436,6 +436,125 @@ def bench_lint_selfscan(
     }
 
 
+#: advisory wall-clock budget for full tracing: the instrumented smoke
+#: storm may cost at most this much over the NULL_OBS run
+OBS_OVERHEAD_PIN_PCT = 15.0
+
+
+def bench_obs_overhead(quick: bool) -> Dict[str, Dict[str, Any]]:
+    """Macro: the smoke storm under NULL_OBS vs full causal tracing.
+
+    Spans, trace contexts and exemplars are strictly opt-in, so their
+    cost only exists on instrumented runs -- this bench is the number
+    that keeps that cost honest.  ``overhead_pct`` is the primary
+    (lower = better) and :data:`OBS_OVERHEAD_PIN_PCT` is the advisory
+    pin recorded in the artifact; the CI baseline comparison flags a
+    creeping regression even while it stays under the pin.
+    """
+    from repro.obs.core import NULL_OBS, Observability
+    from repro.vserver.service import build_service_scenario, service_preset
+
+    config = service_preset("smoke")
+
+    def run(traced: bool) -> None:
+        obs = Observability.enabled() if traced else NULL_OBS
+        build_service_scenario(config, obs=obs).run()
+
+    # One smoke run is ~15ms -- scheduler noise swamps a single-run
+    # delta -- so each sample batches ``loops`` runs of one mode and
+    # the modes alternate batch-by-batch.  Both sides keep their
+    # *best* batch (the module's noise-floor discipline): floors
+    # converge to the steady-state cost of each mode, where a mean or
+    # a single pairing would fold machine drift into the ratio.
+    loops = 3 if quick else 10
+    rounds = 3 if quick else 6
+    run(False)
+    run(True)
+
+    def timed(traced: bool) -> float:
+        start = perf_time()
+        for _ in range(loops):
+            run(traced)
+        return perf_time() - start
+
+    best_null = best_traced = float("inf")
+    for _ in range(rounds):
+        best_null = min(best_null, timed(False))
+        best_traced = min(best_traced, timed(True))
+    overhead_pct = (best_traced / best_null - 1.0) * 100.0
+    return {
+        "obs.overhead": {
+            "overhead_pct": overhead_pct,
+            "null_ms": best_null * 1e3 / loops,
+            "traced_ms": best_traced * 1e3 / loops,
+            "loops": loops,
+            "rounds": rounds,
+            "pin_pct": OBS_OVERHEAD_PIN_PCT,
+            "within_pin": overhead_pct <= OBS_OVERHEAD_PIN_PCT,
+            "primary": "overhead_pct",
+            "direction": "lower",
+        }
+    }
+
+
+def bench_slo_eval(quick: bool) -> Dict[str, Dict[str, Any]]:
+    """Micro: SLO engine evaluation ticks over a populated registry.
+
+    One tick reads every objective's sources, maintains the rolling
+    windows and evaluates both burn rates; at the default cadence
+    (short-window/3) a long storm run takes thousands of them, so the
+    per-tick cost bounds how cheap ``RunSpec.slo`` stays.
+    """
+    from repro.obs.core import Observability
+    from repro.obs.slo import SLOEngine, parse_objectives
+
+    obs = Observability.enabled()
+    good = obs.metrics.counter("svc.good", "bench")
+    total = obs.metrics.counter("svc.total", "bench")
+    hist = obs.metrics.histogram("svc.latency", "bench")
+    for i in range(512):
+        total.inc()
+        if i % 7:
+            good.inc()
+        hist.observe((i % 50) / 100.0)
+
+    class _TickClock:
+        """Stand-in sim: the engine only touches .now / .schedule."""
+
+        def __init__(self) -> None:
+            self.now = 0.0
+
+        def schedule(self, delay: float, fn: Any, *args: Any) -> None:
+            return None
+
+    engine = SLOEngine(obs, parse_objectives(
+        "ratio:svc.good/svc.total@0.9,"
+        "latency:svc.latency<0.25@0.95,"
+        "probe:deadline@0.99"
+    ))
+    engine.register_probe("deadline", lambda: (500.0, 512.0))
+    clock = _TickClock()
+    engine._sim = clock
+    engine._until = float("inf")
+    ticks = 2_000 if quick else 10_000
+
+    def work() -> None:
+        for _ in range(ticks):
+            clock.now += engine.interval
+            engine._tick()
+
+    best = _best_of(work, repeats=3)
+    return {
+        "slo.eval": {
+            "ticks_per_sec": ticks / best,
+            "us_per_tick": best * 1e6 / ticks,
+            "objectives": len(engine.objectives),
+            "primary": "ticks_per_sec",
+            "direction": "higher",
+        }
+    }
+
+
 # ---------------------------------------------------------------------------
 # Suite driver / comparison
 # ---------------------------------------------------------------------------
@@ -459,6 +578,8 @@ def run_suite(quick: bool = False, workdir: Optional[Any] = None) -> Dict[str, A
     benches.update(bench_fleet_incremental(quick, workdir))
     benches.update(bench_verifier_batch(quick))
     benches.update(bench_verifier_storm(quick))
+    benches.update(bench_obs_overhead(quick))
+    benches.update(bench_slo_eval(quick))
     benches.update(bench_lint_selfscan(quick, workdir))
     return {
         "version": BENCH_VERSION,

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.tracectx import TraceContext
 from repro.ra.measurement import MeasurementConfig, MeasurementProcess
 from repro.ra.report import (
     AttestationReport,
@@ -171,7 +172,7 @@ class ErasmusService:
         device = self.device
         mp = MeasurementProcess(
             device, self.config, nonce=nonce, counter=counter,
-            mechanism="erasmus-od",
+            mechanism="erasmus-od", ctx=message.ctx,
         )
         proc = device.cpu.spawn(
             f"{device.name}.erasmus-od.{counter}",
@@ -180,14 +181,14 @@ class ErasmusService:
         )
 
         def reply(_record, mp=mp, counter=counter,
-                  src=message.src) -> None:
+                  src=message.src, ctx=message.ctx) -> None:
             self._store(mp.record)
             self.on_demand_served += 1
             report = AttestationReport.authenticate(
                 device.attestation_key, device.name, [mp.record],
                 sent_counter=counter,
             )
-            send_report(device.nic, src, report)
+            send_report(device.nic, src, report, ctx=ctx)
 
         proc.done_signal.wait(reply)
 
@@ -227,6 +228,7 @@ class ErasmusService:
             message.src,
             "collect_reply",
             {"report": report, "nonce": payload.get("nonce", b"")},
+            ctx=message.ctx,
         )
         self.device.trace.record(
             self.device.sim.now, "erasmus.collect", self.device.name,
@@ -291,6 +293,7 @@ class _PendingCollection:
     attempts: int = 1
     drbg: Optional[object] = None
     timeout: Optional[object] = None
+    ctx: Optional[TraceContext] = None
 
 
 class CollectorVerifier:
@@ -335,6 +338,10 @@ class CollectorVerifier:
             device=device_name,
             on_result=on_result,
             requested_at=self.verifier.sim.now,
+            ctx=(
+                TraceContext.mint("erasmus", device_name, nonce)
+                if self.verifier.sim.obs.enabled else None
+            ),
         )
         if self.retry is not None:
             pending.drbg = self.retry.drbg_for(nonce)
@@ -343,7 +350,8 @@ class CollectorVerifier:
 
     def _transmit(self, nonce: bytes, pending: _PendingCollection) -> None:
         self.endpoint.send(
-            pending.device, "collect_request", {"nonce": nonce}
+            pending.device, "collect_request", {"nonce": nonce},
+            ctx=pending.ctx,
         )
         if self.retry is not None:
             wait = self.retry.wait_before(pending.attempts, pending.drbg)
@@ -401,11 +409,12 @@ class CollectorVerifier:
         report: AttestationReport = payload["report"]
         self.verifier.sim.schedule(
             self.verify_latency, self._finish, report, pending.on_result,
-            pending.requested_at,
+            pending.requested_at, pending.ctx,
         )
 
     def _finish(self, report: AttestationReport, on_result,
-                requested_at: float) -> None:
+                requested_at: float,
+                ctx: Optional[TraceContext] = None) -> None:
         result = self.verifier.verify_report(
             report, enforce_counter=True, counter_stream="erasmus-collect"
         )
@@ -420,10 +429,14 @@ class CollectorVerifier:
         obs = self.verifier.sim.obs
         if obs.enabled:
             now = self.verifier.sim.now
+            span_args = dict(
+                device=report.device, records=len(report.records),
+            )
+            if ctx is not None:
+                span_args["trace_id"] = ctx.trace_id
             obs.spans.add_span(
                 "erasmus.collection", requested_at, now,
-                category="ra.verifier", device=report.device,
-                records=len(report.records),
+                category="ra.verifier", **span_args,
             )
             obs.metrics.counter(
                 "erasmus.collections", "completed collection round trips",
@@ -431,7 +444,10 @@ class CollectorVerifier:
             obs.metrics.histogram(
                 "erasmus.collection.latency",
                 "collect request to verdict (sim s)",
-            ).observe(now - requested_at)
+            ).observe(
+                now - requested_at,
+                exemplar=ctx.trace_id if ctx is not None else None,
+            )
         if on_result is not None:
             on_result(collection)
 

@@ -28,7 +28,7 @@ mechanism (any real malware is slower).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hmac import Hmac, hmac_digest
@@ -125,12 +125,15 @@ class MeasurementProcess:
         nonce: bytes,
         counter: int = 0,
         mechanism: str = "generic",
+        ctx: Optional[Any] = None,
     ) -> None:
         self.device = device
         self.config = config
         self.nonce = nonce
         self.counter = counter
         self.mechanism = mechanism
+        #: trace context of the exchange that requested this measurement
+        self.ctx = ctx
         self.record: Optional[MeasurementRecord] = None
         self.policy = config.locking if config.locking is not None else NoLock()
 
@@ -176,10 +179,14 @@ class MeasurementProcess:
         obs = device.obs
         spans = obs.spans if obs.enabled else None
         if spans is not None:
-            measurement_span = spans.begin_span(
-                "ra.measurement", category="ra.measurement",
+            span_args = dict(
                 mechanism=self.mechanism, order=config.order,
                 atomic=config.atomic, blocks=len(order),
+            )
+            if self.ctx is not None:
+                span_args["trace_id"] = self.ctx.trace_id
+            measurement_span = spans.begin_span(
+                "ra.measurement", category="ra.measurement", **span_args
             )
             m_blocks = obs.metrics.counter(
                 "ra.blocks.measured", "attested blocks traversed",
@@ -510,7 +517,12 @@ class MeasurementProcess:
                 "ra.measurement.duration",
                 "wall-to-wall measurement window t_e - t_s (sim s)",
                 mechanism=self.mechanism,
-            ).observe(t_end - t_start)
+            ).observe(
+                t_end - t_start,
+                exemplar=(
+                    self.ctx.trace_id if self.ctx is not None else None
+                ),
+            )
             if cache is not None:
                 # Cache-off runs never register these series, so the
                 # seed metric snapshot is untouched by default.

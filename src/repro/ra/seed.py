@@ -30,6 +30,7 @@ from typing import List, Optional
 
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import ConfigurationError
+from repro.obs.tracectx import TraceContext
 from repro.ra.measurement import MeasurementConfig, MeasurementProcess
 from repro.ra.report import AttestationReport, Verdict, VerificationResult
 from repro.ra.service import listen
@@ -128,6 +129,7 @@ class SeedService:
                 self.device.nic.send(
                     message.src, "seed_fetch_reply",
                     {"counter": counter, "report": report},
+                    ctx=message.ctx,
                 )
                 return
 
@@ -135,9 +137,15 @@ class SeedService:
         self._counter += 1
         counter = self._counter
         nonce = b"seed" + counter.to_bytes(8, "big")
+        # The prover is the initiator in SeED's unidirectional design,
+        # so the push is where the exchange's trace context is born.
+        ctx = (
+            TraceContext.mint("seed", self.device.name, counter)
+            if self.device.sim.obs.enabled else None
+        )
         mp = MeasurementProcess(
             self.device, self.config, nonce=nonce, counter=counter,
-            mechanism="seed",
+            mechanism="seed", ctx=ctx,
         )
         proc = self.device.cpu.spawn(
             f"{self.device.name}.seed-mp.{counter}",
@@ -145,7 +153,7 @@ class SeedService:
             priority=self.config.priority,
         )
 
-        def send_report(_record, mp=mp, counter=counter) -> None:
+        def send_report(_record, mp=mp, counter=counter, ctx=ctx) -> None:
             report = AttestationReport.authenticate(
                 self.device.attestation_key,
                 self.device.name,
@@ -153,7 +161,9 @@ class SeedService:
                 sent_counter=counter,
             )
             self.reports_sent.append(report)
-            self.device.nic.send(self.verifier_name, "seed_report", report)
+            self.device.nic.send(
+                self.verifier_name, "seed_report", report, ctx=ctx
+            )
 
         proc.done_signal.wait(send_report)
 
@@ -267,6 +277,19 @@ class SeedMonitor:
         if slot is not None and not slot.received:
             slot.received = True
             slot.result = result
+        obs = self.verifier.sim.obs
+        if obs.enabled:
+            # Push flight + verification, linked to the prover-minted
+            # context so SeED exchanges appear in the causal timeline.
+            span_args = dict(
+                device=report.device, verdict=result.verdict.value,
+            )
+            if message.ctx is not None:
+                span_args["trace_id"] = message.ctx.trace_id
+            obs.spans.add_span(
+                "seed.push", message.sent_at, self.verifier.sim.now,
+                category="ra.verifier", **span_args,
+            )
 
     def _on_fetch_reply(self, message: Message) -> None:
         """A catch-up fetch came back: verify it against its slot.
@@ -306,7 +329,13 @@ class SeedMonitor:
         if self.catch_up and not slot.fetch_sent:
             slot.fetch_sent = True
             self.endpoint.send(
-                self.device_name, "seed_fetch", {"counter": slot.counter}
+                self.device_name, "seed_fetch", {"counter": slot.counter},
+                ctx=(
+                    TraceContext.mint(
+                        "seed-fetch", self.device_name, slot.counter
+                    )
+                    if self.verifier.sim.obs.enabled else None
+                ),
             )
             obs = self.verifier.sim.obs
             if obs.enabled:

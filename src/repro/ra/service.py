@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.tracectx import TraceContext
 from repro.ra.measurement import MeasurementConfig, MeasurementProcess
 from repro.ra.report import AttestationReport, Verdict, VerificationResult
 from repro.ra.verifier import Verifier
@@ -33,16 +34,18 @@ DEDUP_CACHE_SIZE = 64
 
 
 def send_report(endpoint: Endpoint, dst: str, report: Any,
-                kind: str = "att_report") -> Message:
+                kind: str = "att_report",
+                ctx: Optional[TraceContext] = None) -> Message:
     """The one sanctioned way attestation traffic enters the channel.
 
     Retransmission safety lives in the retry/dedup layer of this
     module; protocol code elsewhere must route ``att_*`` sends through
     here (or :class:`OnDemandVerifier`) so a send is never silently
     unrecoverable -- the ``ra-naked-send`` lint rule enforces exactly
-    that boundary.
+    that boundary.  ``ctx`` carries the exchange's trace context across
+    the hop (out-of-band; the report bytes are untouched).
     """
-    return endpoint.send(dst, kind, report)
+    return endpoint.send(dst, kind, report, ctx=ctx)
 
 
 def listen(
@@ -178,7 +181,8 @@ class AttestationService:
                 ).inc()
             if cached is not None:
                 # Settled: the report (not the measurement) was lost.
-                send_report(self.device.nic, message.src, cached)
+                send_report(self.device.nic, message.src, cached,
+                            ctx=message.ctx)
             # In flight: the running measurement will answer.
             return
         if nonce:
@@ -212,10 +216,14 @@ class AttestationService:
             obs = device.obs
             round_span = None
             if obs.enabled:
-                round_span = obs.spans.begin_span(
-                    "ra.round", category="ra.service",
+                span_args = dict(
                     mechanism=self.mechanism, src=message.src,
                     rounds=rounds,
+                )
+                if message.ctx is not None:
+                    span_args["trace_id"] = message.ctx.trace_id
+                round_span = obs.spans.begin_span(
+                    "ra.round", category="ra.service", **span_args
                 )
             records = []
             for round_index in range(rounds):
@@ -225,6 +233,7 @@ class AttestationService:
                 mp = MeasurementProcess(
                     device, self.config, nonce=nonce,
                     counter=self._counter, mechanism=self.mechanism,
+                    ctx=message.ctx,
                 )
                 mp_proc = device.cpu.spawn(
                     f"{device.name}.mp.{self._counter}",
@@ -254,7 +263,7 @@ class AttestationService:
             if nonce:
                 self._dedup[nonce] = report
                 self._trim_dedup()
-            send_report(device.nic, message.src, report)
+            send_report(device.nic, message.src, report, ctx=message.ctx)
             device.trace.record(
                 device.sim.now, "ra.reply", device.name,
                 records=len(records), signed=self.signer is not None,
@@ -285,6 +294,8 @@ class AttestationExchange:
     report: Optional[AttestationReport] = None
     report_received_at: Optional[float] = None
     result: Optional[VerificationResult] = None
+    #: trace context minted for this exchange (None when obs disabled)
+    ctx: Optional[TraceContext] = None
 
     @property
     def round_trip(self) -> Optional[float]:
@@ -336,11 +347,18 @@ class OnDemandVerifier:
         """Send a challenge to ``device_name``; returns the exchange
         object that will be filled in as the protocol completes."""
         nonce = self.verifier.new_nonce(device_name)
+        # Minting is gated on obs so NULL_OBS runs stay allocation-free
+        # and their traces byte-identical.
+        ctx = (
+            TraceContext.mint("ondemand", device_name, nonce)
+            if self.verifier.sim.obs.enabled else None
+        )
         exchange = AttestationExchange(
             device=device_name,
             nonce=nonce,
             requested_at=self.verifier.sim.now,
             rounds=rounds,
+            ctx=ctx,
         )
         exchange._on_result = on_result  # type: ignore[attr-defined]
         exchange._timeout = None  # type: ignore[attr-defined]
@@ -353,9 +371,12 @@ class OnDemandVerifier:
         return exchange
 
     def _transmit(self, exchange: AttestationExchange) -> None:
+        # Retransmissions reuse the same context: one exchange, one
+        # trace_id, however many attempts it takes.
         self.endpoint.send(
             exchange.device, "att_request",
             {"nonce": exchange.nonce, "rounds": exchange.rounds},
+            ctx=exchange.ctx,
         )
         if self.retry is not None:
             wait = self.retry.wait_before(exchange.attempts, exchange._drbg)
@@ -457,15 +478,23 @@ class OnDemandVerifier:
         obs = self.channel.sim.obs
         if obs.enabled:
             now = self.channel.sim.now
+            span_args = dict(
+                device=exchange.device,
+                verdict=exchange.result.verdict.value,
+            )
+            exemplar = None
+            if exchange.ctx is not None:
+                span_args["trace_id"] = exchange.ctx.trace_id
+                span_args["attempts"] = exchange.attempts
+                exemplar = exchange.ctx.trace_id
             obs.spans.add_span(
                 "ra.round_trip", exchange.requested_at, now,
-                category="ra.verifier", device=exchange.device,
-                verdict=exchange.result.verdict.value,
+                category="ra.verifier", **span_args,
             )
             obs.metrics.histogram(
                 "ra.round_trip.latency",
                 "challenge to verdict latency (sim s)",
-            ).observe(now - exchange.requested_at)
+            ).observe(now - exchange.requested_at, exemplar=exemplar)
         if self.outcomes is not None:
             self.outcomes.record(
                 device=exchange.device,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hmac import Hmac, constant_time_equal
@@ -69,6 +69,27 @@ class DeviceProfile:
     verify_cost: float = 0.0
 
 
+@dataclass(frozen=True)
+class VerifyCostModel:
+    """Sim-time cost of verifying one report on the verifier host.
+
+    ``per_report`` is the fixed overhead (parse + MAC + bookkeeping),
+    ``per_record`` the marginal cost of each contained measurement
+    record; a per-device surcharge comes from
+    :attr:`DeviceProfile.verify_cost` (seconds per record).  The
+    default model everywhere is ``None`` -- zero cost, instantaneous
+    verdicts, byte-identical golden ledgers; services opt in via
+    config (e.g. the ``smoke-cost`` preset).
+    """
+
+    per_report: float = 0.0
+    per_record: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.per_report < 0 or self.per_record < 0:
+            raise ConfigurationError("verify costs must be >= 0")
+
+
 class Verifier:
     """Vrf: challenge generation, report verification, result history."""
 
@@ -79,12 +100,37 @@ class Verifier:
         self.trace = trace
         self.devices: Dict[str, DeviceProfile] = {}
         self.results: List[VerificationResult] = []
+        #: optional :class:`VerifyCostModel`; when set, callers that
+        #: schedule verdict delivery (the served verifier, drivers)
+        #: charge :meth:`verify_cost` sim-seconds per report
+        self.cost_model: Optional[VerifyCostModel] = None
         self._nonce_drbg = HmacDrbg(nonce_seed)
         self._seen_nonces: Dict[str, set] = {}
+        # lazily resolved instrument handles (see repro.sim.network.
+        # Endpoint.deliver): one registry lookup per instrument instead
+        # of one per verdict; first-use resolution keeps instrument
+        # creation order -- and snapshots -- unchanged
+        self._verdict_counters: Dict[str, Any] = {}
+        self._freshness_hist: Optional[Any] = None
         #: batch-scoped expected-digest memo; populated only inside
         #: :meth:`verify_batch` so one-by-one verification stays on the
         #: seed-identical recomputation path
         self._expected_memo: Optional[Dict[tuple, bytes]] = None
+
+    def verify_cost(self, report: AttestationReport) -> float:
+        """Sim-seconds this report costs under the active cost model.
+
+        0.0 without a model, so default paths schedule nothing extra
+        and existing event sequences are untouched.
+        """
+        model = self.cost_model
+        if model is None:
+            return 0.0
+        profile = self.devices.get(report.device)
+        per_record = model.per_record + (
+            profile.verify_cost if profile is not None else 0.0
+        )
+        return model.per_report + len(report.records) * per_record
 
     # -- registry ---------------------------------------------------------
 
@@ -339,15 +385,25 @@ class Verifier:
                 )
             obs = self.sim.obs
             if obs.enabled:
-                obs.metrics.counter(
-                    "ra.verdicts", "verification outcomes",
-                    verdict=verdict.value,
-                ).inc()
+                counter = self._verdict_counters.get(verdict.value)
+                if counter is None:
+                    counter = self._verdict_counters[verdict.value] = (
+                        obs.metrics.counter(
+                            "ra.verdicts", "verification outcomes",
+                            verdict=verdict.value,
+                        )
+                    )
+                counter.inc()
                 if freshness is not None:
-                    obs.metrics.histogram(
-                        "ra.report.freshness",
-                        "verdict time minus newest t_e (sim s)",
-                    ).observe(freshness)
+                    hist = self._freshness_hist
+                    if hist is None:
+                        hist = self._freshness_hist = (
+                            obs.metrics.histogram(
+                                "ra.report.freshness",
+                                "verdict time minus newest t_e (sim s)",
+                            )
+                        )
+                    hist.observe(freshness)
             return result
 
         if not report.records:

@@ -30,7 +30,13 @@ from repro.sim.engine import Signal, Simulator
 
 @dataclass(frozen=True)
 class Message:
-    """One network message."""
+    """One network message.
+
+    ``ctx`` is an out-of-band :class:`repro.obs.tracectx.TraceContext`
+    carried alongside (never inside) the protocol payload: MAC'd bytes
+    are computed from ``payload`` only, so tracing never perturbs the
+    golden protocol transcripts.  ``None`` means untraced.
+    """
 
     msg_id: int
     src: str
@@ -38,6 +44,7 @@ class Message:
     kind: str
     payload: Any
     sent_at: float
+    ctx: Any = None
 
 
 class Endpoint:
@@ -54,12 +61,18 @@ class Endpoint:
         self.rx_signal = Signal(sim, f"{name}.rx")
         self.channel: Optional["Channel"] = None
         self.received_count = 0
+        #: lazily resolved instrument handle -- deliver() runs once per
+        #: message, so the registry's get-or-create lookup is paid once
+        #: instead of per delivery (instrument creation order, and
+        #: therefore snapshots, are unchanged)
+        self._delivered_counter: Optional[Any] = None
 
-    def send(self, dst: str, kind: str, payload: Any) -> Message:
+    def send(self, dst: str, kind: str, payload: Any,
+             ctx: Any = None) -> Message:
         """Send via the attached channel."""
         if self.channel is None:
             raise ConfigurationError(f"endpoint {self.name!r} not attached")
-        return self.channel.send(self.name, dst, kind, payload)
+        return self.channel.send(self.name, dst, kind, payload, ctx=ctx)
 
     def deliver(self, message: Message) -> None:
         """Called by the channel when a message arrives here."""
@@ -69,14 +82,25 @@ class Endpoint:
         if obs.enabled:
             # The flight interval only becomes known on arrival, so it
             # is recorded retrospectively from the send stamp.
-            obs.spans.add_span(
-                "net.delivery", message.sent_at, self.sim.now,
-                category="net", src=message.src, dst=message.dst,
-                kind=message.kind,
-            )
-            obs.metrics.counter(
-                "net.messages.delivered", "messages handed to an endpoint"
-            ).inc()
+            if message.ctx is not None:
+                obs.spans.add_span(
+                    "net.delivery", message.sent_at, self.sim.now,
+                    category="net", src=message.src, dst=message.dst,
+                    kind=message.kind, trace_id=message.ctx.trace_id,
+                )
+            else:
+                obs.spans.add_span(
+                    "net.delivery", message.sent_at, self.sim.now,
+                    category="net", src=message.src, dst=message.dst,
+                    kind=message.kind,
+                )
+            counter = self._delivered_counter
+            if counter is None:
+                counter = self._delivered_counter = obs.metrics.counter(
+                    "net.messages.delivered",
+                    "messages handed to an endpoint",
+                )
+            counter.inc()
         self.rx_signal.fire(message)
 
     def receive(self) -> Optional[Message]:
@@ -124,10 +148,11 @@ class MuxEndpoint(Endpoint):
         channel.attach(self)
         return self
 
-    def send(self, dst: str, kind: str, payload: Any) -> Message:
+    def send(self, dst: str, kind: str, payload: Any,
+             ctx: Any = None) -> Message:
         for channel in self.channels:
             if dst in channel.endpoints:
-                return channel.send(self.name, dst, kind, payload)
+                return channel.send(self.name, dst, kind, payload, ctx=ctx)
         raise ConfigurationError(
             f"mux endpoint {self.name!r} reaches no channel with "
             f"destination {dst!r}"
@@ -245,6 +270,9 @@ class Channel:
         self.log: List[Message] = []
         self.dropped: List[Message] = []
         self._ids = itertools.count(1)
+        # lazily resolved instrument handles (see Endpoint.deliver)
+        self._sent_counter: Optional[Any] = None
+        self._dropped_counter: Optional[Any] = None
 
     def attach(self, endpoint: Endpoint) -> Endpoint:
         if endpoint.name in self.endpoints:
@@ -269,18 +297,22 @@ class Channel:
             return float(self.latency(message))
         return float(self.latency)
 
-    def send(self, src: str, dst: str, kind: str, payload: Any) -> Message:
+    def send(self, src: str, dst: str, kind: str, payload: Any,
+             ctx: Any = None) -> Message:
         if dst not in self.endpoints:
             raise ConfigurationError(f"unknown destination {dst!r}")
         message = Message(
-            next(self._ids), src, dst, kind, payload, self.sim.now
+            next(self._ids), src, dst, kind, payload, self.sim.now, ctx
         )
         self.log.append(message)
         obs = self.sim.obs
         if obs.enabled:
-            obs.metrics.counter(
-                "net.messages.sent", "messages entering the channel"
-            ).inc()
+            counter = self._sent_counter
+            if counter is None:
+                counter = self._sent_counter = obs.metrics.counter(
+                    "net.messages.sent", "messages entering the channel"
+                )
+            counter.inc()
         deliveries = [(self._base_latency(message), message)]
         for filter_fn in self.filters:
             next_deliveries = []
@@ -289,10 +321,15 @@ class Channel:
                 if verdict.action == "drop":
                     self.dropped.append(msg)
                     if obs.enabled:
-                        obs.metrics.counter(
-                            "net.messages.dropped",
-                            "messages eaten by an in-path filter",
-                        ).inc()
+                        counter = self._dropped_counter
+                        if counter is None:
+                            counter = self._dropped_counter = (
+                                obs.metrics.counter(
+                                    "net.messages.dropped",
+                                    "messages eaten by an in-path filter",
+                                )
+                            )
+                        counter.inc()
                     if self.trace is not None:
                         self.trace.record(
                             self.sim.now, "net.drop", msg.src, msg_kind=msg.kind

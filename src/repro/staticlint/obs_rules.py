@@ -127,3 +127,79 @@ def check_span_leak(ctx: ModuleContext) -> Iterable:
                     f"begins only {len(begins)} -- this pop closes a "
                     f"span owned elsewhere",
                 )
+
+
+# ---------------------------------------------------------------------------
+# obs-ctx-drop: replies that lose the incoming TraceContext
+# ---------------------------------------------------------------------------
+
+#: parameter names that mark a function as a message handler
+_MESSAGE_PARAMS = ("message", "msg")
+
+#: positional-arg counts at which ``ctx`` would already be covered
+#: (Endpoint.send(dst, kind, payload, ctx) / send_report(endpoint,
+#: dst, report, kind, ctx))
+_CTX_POSITION = {"send": 4, "send_report": 5}
+
+
+def _handler_params(func: ast.AST) -> bool:
+    args = getattr(func, "args", None)
+    if args is None:
+        return False
+    names = [a.arg for a in args.args]
+    names.extend(a.arg for a in args.kwonlyargs)
+    names.extend(a.arg for a in args.posonlyargs)
+    return any(name in _MESSAGE_PARAMS for name in names)
+
+
+@rule(
+    id="obs-ctx-drop",
+    family="observability",
+    severity=Severity.WARNING,
+    summary="message handler sends a reply without forwarding ctx",
+    rationale=(
+        "a TraceContext rides out-of-band on every Message so one "
+        "attestation exchange folds into one causal timeline; a "
+        "handler that receives a message and replies (or forwards) "
+        "without passing ctx= severs the trace at that hop -- the "
+        "verifier-side spans land in a different (or no) trace and "
+        "the exchange can no longer be followed end-to-end in the "
+        "Perfetto export or resolved from a histogram exemplar"
+    ),
+    hint=(
+        "thread the incoming context through the send: "
+        "endpoint.send(dst, kind, payload, ctx=message.ctx) or "
+        "send_report(..., ctx=message.ctx); initiating sends that "
+        "genuinely start a fresh exchange should mint a new "
+        "TraceContext instead (add '# repro: allow[obs-ctx-drop]' "
+        "when the send is deliberately untraced)"
+    ),
+)
+def check_ctx_drop(ctx: ModuleContext) -> Iterable:
+    this = get_rule("obs-ctx-drop")
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _handler_params(func):
+            continue
+        for node in walk_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            else:
+                continue
+            if name not in _CTX_POSITION:
+                continue
+            if any(kw.arg == "ctx" for kw in node.keywords):
+                continue
+            if len(node.args) >= _CTX_POSITION[name]:
+                continue
+            yield this.finding(
+                ctx, node,
+                f"{func.name}() handles a message but calls {name}() "
+                "without ctx= -- the incoming TraceContext is dropped "
+                "and the exchange's causal timeline breaks here",
+            )

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.crypto.hmac import constant_time_equal, hmac_digest
 from repro.errors import ConfigurationError
+from repro.obs.tracectx import TraceContext
 from repro.ra.measurement import MeasurementConfig, MeasurementProcess
 from repro.ra.service import listen
 from repro.ra.verifier import Verifier
@@ -123,10 +124,15 @@ class SwarmNodeService:
             "pending": set(self.children),
             "child_aggs": [],
             "own": None,
+            # the round's TraceContext rides down the flood and back up
+            # the aggregate, so the whole tree round is one trace
+            "ctx": message.ctx,
         }
         self._collecting[nonce] = state
         for child in self.children:
-            self.device.nic.send(child, "swarm_attest", {"nonce": nonce})
+            self.device.nic.send(
+                child, "swarm_attest", {"nonce": nonce}, ctx=message.ctx
+            )
         self._counter += 1
         mp = MeasurementProcess(
             self.device, self.config, nonce=nonce, counter=self._counter,
@@ -206,6 +212,7 @@ class SwarmNodeService:
         self.device.nic.send(
             state["parent"], "swarm_reply",
             {"nonce": nonce, "aggregate": aggregate},
+            ctx=state["ctx"],
         )
         del self._collecting[nonce]
 
@@ -255,8 +262,13 @@ class SwarmAttestation:
         self._nonce_counter += 1
         nonce = b"swarm" + self._nonce_counter.to_bytes(8, "big")
         self._outstanding[nonce] = True
+        ctx = (
+            TraceContext.mint("swarm", nonce)
+            if self.verifier.sim.obs.enabled else None
+        )
         self.endpoint.send(
-            self.topology.devices[0].name, "swarm_attest", {"nonce": nonce}
+            self.topology.devices[0].name, "swarm_attest",
+            {"nonce": nonce}, ctx=ctx,
         )
         if timeout is not None:
             self.verifier.sim.schedule(timeout, self._deadline, nonce)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.tracectx import TraceContext
 from repro.ra.measurement import MeasurementConfig, MeasurementProcess
 from repro.ra.report import AttestationReport, Verdict
 from repro.ra.service import listen
@@ -96,9 +97,10 @@ class LisaAlphaNode:
         if message.kind == "lisa_attest":
             self._start(message)
         else:
-            # Forward a descendant's report toward the verifier.
+            # Forward a descendant's report toward the verifier,
+            # preserving its hop-spanning trace context.
             self.device.nic.send(self.parent, "lisa_report",
-                                 message.payload)
+                                 message.payload, ctx=message.ctx)
 
     def _start(self, message: Message) -> None:
         nonce = message.payload["nonce"]
@@ -106,7 +108,9 @@ class LisaAlphaNode:
             return  # flood duplicate
         self._seen_nonces.add(nonce)
         for child in self.children:
-            self.device.nic.send(child, "lisa_attest", {"nonce": nonce})
+            self.device.nic.send(
+                child, "lisa_attest", {"nonce": nonce}, ctx=message.ctx
+            )
         self._counter += 1
         mp = MeasurementProcess(
             self.device, self.config, nonce=nonce,
@@ -118,12 +122,13 @@ class LisaAlphaNode:
             priority=self.config.priority,
         )
 
-        def send_report(_record, mp=mp) -> None:
+        def send_report(_record, mp=mp, ctx=message.ctx) -> None:
             report = AttestationReport.authenticate(
                 self.device.attestation_key, self.device.name,
                 [mp.record], sent_counter=self._counter,
             )
-            self.device.nic.send(self.parent, "lisa_report", report)
+            self.device.nic.send(self.parent, "lisa_report", report,
+                                 ctx=ctx)
 
         proc.done_signal.wait(send_report)
 
@@ -177,9 +182,13 @@ class LisaAlphaAttestation:
         )
         self.results.append(result)
         self._by_nonce[nonce] = result
+        ctx = (
+            TraceContext.mint("lisa", nonce)
+            if self.verifier.sim.obs.enabled else None
+        )
         self.endpoint.send(
             self.topology.devices[0].name, "lisa_attest",
-            {"nonce": nonce},
+            {"nonce": nonce}, ctx=ctx,
         )
         return nonce
 

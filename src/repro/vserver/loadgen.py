@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import ConfigurationError
+from repro.obs.tracectx import TraceContext
 from repro.ra.measurement import expected_digest
 from repro.ra.report import AttestationReport, MeasurementRecord
 from repro.ra.verifier import Verifier
@@ -131,7 +132,14 @@ class SimProver:
             self.key, self.name, list(self.history),
             sent_counter=self.counter,
         )
-        self.endpoint.send(self.server, self.kind, report)
+        # The prover initiates the push, so it mints the exchange's
+        # trace context (deterministic: name + push counter); gated on
+        # obs so NULL_OBS storms allocate nothing.
+        ctx = (
+            TraceContext.mint("vserver", self.name, self.counter)
+            if self.sim.obs.enabled else None
+        )
+        self.endpoint.send(self.server, self.kind, report, ctx=ctx)
         self.sent += 1
         return report
 

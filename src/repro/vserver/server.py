@@ -35,7 +35,7 @@ from typing import Any, Deque, Dict, List, Optional
 from repro.errors import ConfigurationError
 from repro.ra.report import AttestationReport
 from repro.ra.service import listen
-from repro.ra.verifier import Verifier
+from repro.ra.verifier import Verifier, VerifyCostModel
 from repro.resilience.outcome import (
     OUTCOME_DEFERRED_OK,
     OUTCOME_REJECTED,
@@ -73,6 +73,18 @@ class ServerConfig:
     byte-identical across the switch.  ``rate_limit`` is per-tenant
     tokens/second (0 disables the bucket), ``rate_burst`` the bucket
     capacity.  ``slo_queue_latency`` is the deferred-ok threshold.
+
+    ``verify_cost`` / ``verify_cost_record`` arm a
+    :class:`~repro.ra.verifier.VerifyCostModel`: each drained report's
+    verdict is delivered ``per_report + records * per_record``
+    sim-seconds after the drain start, cumulatively within the epoch
+    (one verifier core working through the batch), so
+    ``vserver.stage.verify`` observes real values.  Both default to 0:
+    verdicts stay instantaneous, ledger fields keep their exact seed
+    meaning (``queue_latency`` is always admission -> drain start) and
+    golden ledgers stay byte-identical.  With costs that overrun the
+    horizon, tail conclusions simply have not happened yet -- they
+    show up in ``unaccounted`` exactly like still-queued reports.
     """
 
     queue_capacity: int = 256
@@ -82,6 +94,8 @@ class ServerConfig:
     rate_limit: float = 0.0
     rate_burst: float = 8.0
     start_at: float = 0.0
+    verify_cost: float = 0.0
+    verify_cost_record: float = 0.0
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -92,6 +106,8 @@ class ServerConfig:
             raise ConfigurationError(
                 "rate_limit must be >= 0 and rate_burst > 0"
             )
+        if self.verify_cost < 0 or self.verify_cost_record < 0:
+            raise ConfigurationError("verify costs must be >= 0")
 
 
 class TokenBucket:
@@ -181,6 +197,8 @@ class _Queued:
     enqueued_at: float
     report: AttestationReport
     verify_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: trace context carried from the prover's message (out-of-band)
+    ctx: Optional[Any] = None
 
 
 class VerifierServer:
@@ -223,6 +241,22 @@ class VerifierServer:
         self.verified = 0
         self.max_queue_depth = 0
         self._running = False
+        # lazily resolved instrument handles (same idiom as
+        # repro.sim.network.Endpoint.deliver): the registry's
+        # get-or-create lookup is paid once per instrument instead of
+        # once per report, and because resolution still happens at the
+        # first real observation, instrument creation order -- and so
+        # snapshot content -- is unchanged
+        self._admission_hist: Optional[Any] = None
+        self._admitted_counter: Optional[Any] = None
+        self._queue_depth_gauge: Optional[Any] = None
+        self._rejected_counters: Dict[str, Any] = {}
+        self._epochs_counter: Optional[Any] = None
+        self._batch_size_hist: Optional[Any] = None
+        self._verified_counter: Optional[Any] = None
+        self._stage_queue_hist: Optional[Any] = None
+        self._stage_verify_hist: Optional[Any] = None
+        self._stage_total_hist: Optional[Any] = None
         #: optional *injected* wall clock (source it from
         #: :func:`repro.fleet.clock.perf_time`); when set, the server
         #: accumulates the wall time spent inside verification drains
@@ -230,6 +264,14 @@ class VerifierServer:
         #: verdicts and the ledger are identical with it on or off.
         self.verify_wall_clock = None
         self.verify_wall_time = 0.0
+        if (
+            self.config.verify_cost > 0
+            or self.config.verify_cost_record > 0
+        ) and verifier.cost_model is None:
+            verifier.cost_model = VerifyCostModel(
+                per_report=self.config.verify_cost,
+                per_record=self.config.verify_cost_record,
+            )
         if endpoint is not None:
             listen(endpoint, self._on_message, kinds=SERVED_KINDS)
 
@@ -261,7 +303,10 @@ class VerifierServer:
         )
         if not isinstance(report, AttestationReport):
             return
-        self.submit(report, kind=message.kind, sent_at=message.sent_at)
+        self.submit(
+            report, kind=message.kind, sent_at=message.sent_at,
+            ctx=message.ctx,
+        )
 
     def submit(
         self,
@@ -270,6 +315,7 @@ class VerifierServer:
         kind: str = "seed_report",
         tenant: Optional[str] = None,
         sent_at: Optional[float] = None,
+        ctx: Optional[Any] = None,
     ) -> Optional[LedgerEntry]:
         """Admission control for one report.
 
@@ -290,10 +336,22 @@ class VerifierServer:
         self._seq += 1
         obs = self.sim.obs
         if obs.enabled and sent_at is not None:
-            obs.metrics.histogram(
-                "vserver.stage.admission",
-                "send to admission decision (sim s)",
-            ).observe(now - sent_at)
+            hist = self._admission_hist
+            if hist is None:
+                hist = self._admission_hist = obs.metrics.histogram(
+                    "vserver.stage.admission",
+                    "send to admission decision (sim s)",
+                )
+            hist.observe(
+                now - sent_at,
+                exemplar=ctx.trace_id if ctx is not None else None,
+            )
+            if ctx is not None and obs.spans.enabled:
+                obs.spans.add_span(
+                    "vserver.stage.admission", sent_at, now,
+                    category="ra.vserver", device=report.device,
+                    kind=kind, trace_id=ctx.trace_id,
+                )
         if self.config.rate_limit > 0:
             bucket = self._buckets.get(tenant)
             if bucket is None:
@@ -318,17 +376,25 @@ class VerifierServer:
             enqueued_at=now,
             report=report,
             verify_kwargs=verify_kwargs,
+            ctx=ctx,
         ))
         depth = len(self.queue)
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
         if obs.enabled:
-            obs.metrics.counter(
-                "vserver.admitted", "reports admitted to the queue"
-            ).inc()
-            obs.metrics.gauge(
-                "vserver.queue.depth", "reports waiting for an epoch drain"
-            ).set(depth)
+            counter = self._admitted_counter
+            if counter is None:
+                counter = self._admitted_counter = obs.metrics.counter(
+                    "vserver.admitted", "reports admitted to the queue"
+                )
+            counter.inc()
+            gauge = self._queue_depth_gauge
+            if gauge is None:
+                gauge = self._queue_depth_gauge = obs.metrics.gauge(
+                    "vserver.queue.depth",
+                    "reports waiting for an epoch drain",
+                )
+            gauge.set(depth)
         return None
 
     def _reject(
@@ -369,10 +435,15 @@ class VerifierServer:
         )
         obs = self.sim.obs
         if obs.enabled:
-            obs.metrics.counter(
-                "vserver.rejected", "reports refused at admission",
-                reason=status,
-            ).inc()
+            counter = self._rejected_counters.get(status)
+            if counter is None:
+                counter = self._rejected_counters[status] = (
+                    obs.metrics.counter(
+                        "vserver.rejected", "reports refused at admission",
+                        reason=status,
+                    )
+                )
+            counter.inc()
         return entry
 
     # -- epoch drain ----------------------------------------------------
@@ -384,16 +455,28 @@ class VerifierServer:
         self.queue.clear()
         obs = self.sim.obs
         if obs.enabled:
-            obs.metrics.counter(
-                "vserver.epochs", "epoch drains executed"
-            ).inc()
-            obs.metrics.gauge(
-                "vserver.queue.depth", "reports waiting for an epoch drain"
-            ).set(0)
-            obs.metrics.histogram(
-                "vserver.epoch.batch_size", "reports drained per epoch",
-                buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
-            ).observe(len(drained))
+            counter = self._epochs_counter
+            if counter is None:
+                counter = self._epochs_counter = obs.metrics.counter(
+                    "vserver.epochs", "epoch drains executed"
+                )
+            counter.inc()
+            gauge = self._queue_depth_gauge
+            if gauge is None:
+                gauge = self._queue_depth_gauge = obs.metrics.gauge(
+                    "vserver.queue.depth",
+                    "reports waiting for an epoch drain",
+                )
+            gauge.set(0)
+            hist = self._batch_size_hist
+            if hist is None:
+                hist = self._batch_size_hist = obs.metrics.histogram(
+                    "vserver.epoch.batch_size", "reports drained per epoch",
+                    buckets=(
+                        0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024
+                    ),
+                )
+            hist.observe(len(drained))
         if drained:
             clock = self.verify_wall_clock
             started = clock() if clock is not None else 0.0
@@ -410,13 +493,41 @@ class VerifierServer:
                 ]
             if clock is not None:
                 self.verify_wall_time += clock() - started
+            # Verdicts are computed at the drain instant (batch and
+            # serial alike); the cost model only defers their
+            # *delivery*, cumulatively -- one verifier core working
+            # through the epoch's batch.  cost == 0 keeps the exact
+            # seed behavior: conclude inline, no extra events.
+            cumulative = 0.0
+            epoch = self.epochs
             for item, result in zip(drained, results):
-                self._conclude(item, result, now)
+                cost = self.verifier.verify_cost(item.report)
+                cumulative += cost
+                if cumulative <= 0.0:
+                    self._conclude(item, result, now)
+                else:
+                    self.sim.schedule(
+                        cumulative, self._conclude, item, result, now,
+                        cumulative, epoch,
+                    )
         if self._running:
             self.sim.schedule(self.config.epoch, self._tick)
 
-    def _conclude(self, item: _Queued, result, now: float) -> None:
+    def _conclude(
+        self,
+        item: _Queued,
+        result,
+        now: float,
+        verify_time: float = 0.0,
+        epoch: Optional[int] = None,
+    ) -> None:
+        # ``now`` is the drain start; with a cost model the verdict
+        # lands ``verify_time`` later (the current sim instant), and
+        # ``epoch`` pins the draining epoch even if later ticks have
+        # already advanced the counter.
         latency = now - item.enqueued_at
+        concluded_at = now + verify_time
+        epoch = self.epochs if epoch is None else epoch
         self.verified += 1
         # deliberate accumulators: exact quantiles + the run artifact
         self.queue_latencies.append(latency)  # repro: allow[perf-unbounded-queue]
@@ -426,7 +537,7 @@ class VerifierServer:
             device=item.device,
             kind=item.kind,
             enqueued_at=item.enqueued_at,
-            epoch=self.epochs,
+            epoch=epoch,
             status=STATUS_VERIFIED,
             verdict=result.verdict.value,
             detail=result.detail,
@@ -439,7 +550,7 @@ class VerifierServer:
             device=item.device,
             nonce=item.report.auth_tag,
             requested_at=item.enqueued_at,
-            concluded_at=now,
+            concluded_at=concluded_at,
             attempts=1,
             completed=True,
             verdict=result.verdict.value,
@@ -447,22 +558,54 @@ class VerifierServer:
         )
         obs = self.sim.obs
         if obs.enabled:
-            obs.metrics.counter(
-                "vserver.verified", "reports concluded with a verdict"
-            ).inc()
-            obs.metrics.histogram(
-                "vserver.stage.queue",
-                "admission to epoch-drain start (sim s)",
-            ).observe(latency)
-            obs.metrics.histogram(
-                "vserver.stage.verify",
-                "epoch-drain start to verdict (sim s; 0 until a "
-                "verify-cost model is charged)",
-            ).observe(0.0)
-            obs.metrics.histogram(
-                "vserver.stage.total",
-                "admission to verdict (sim s)",
-            ).observe(latency)
+            ctx = item.ctx
+            exemplar = ctx.trace_id if ctx is not None else None
+            counter = self._verified_counter
+            if counter is None:
+                counter = self._verified_counter = obs.metrics.counter(
+                    "vserver.verified", "reports concluded with a verdict"
+                )
+            counter.inc()
+            hist = self._stage_queue_hist
+            if hist is None:
+                hist = self._stage_queue_hist = obs.metrics.histogram(
+                    "vserver.stage.queue",
+                    "admission to epoch-drain start (sim s)",
+                )
+            hist.observe(latency, exemplar=exemplar)
+            hist = self._stage_verify_hist
+            if hist is None:
+                hist = self._stage_verify_hist = obs.metrics.histogram(
+                    "vserver.stage.verify",
+                    "epoch-drain start to verdict (sim s; 0 until a "
+                    "verify-cost model is charged)",
+                )
+            hist.observe(verify_time, exemplar=exemplar)
+            hist = self._stage_total_hist
+            if hist is None:
+                hist = self._stage_total_hist = obs.metrics.histogram(
+                    "vserver.stage.total",
+                    "admission to verdict (sim s)",
+                )
+            hist.observe(latency + verify_time, exemplar=exemplar)
+            if ctx is not None and obs.spans.enabled:
+                obs.spans.add_span(
+                    "vserver.stage.queue", item.enqueued_at, now,
+                    category="ra.vserver", device=item.device,
+                    trace_id=ctx.trace_id,
+                )
+                obs.spans.add_span(
+                    "vserver.stage.verify", now, concluded_at,
+                    category="ra.vserver", device=item.device,
+                    trace_id=ctx.trace_id,
+                )
+                obs.spans.add_span(
+                    "vserver.exchange", item.enqueued_at, concluded_at,
+                    category="ra.vserver", device=item.device,
+                    kind=item.kind, seq=item.seq,
+                    verdict=result.verdict.value,
+                    trace_id=ctx.trace_id,
+                )
 
     # -- accounting ------------------------------------------------------
 

@@ -57,6 +57,10 @@ class ServiceConfig:
     slo: float = 1.0
     rate_limit: float = 0.0
     rate_burst: float = 8.0
+    #: verify-cost model (sim s); 0 keeps verdicts instantaneous and
+    #: the golden smoke ledger byte-identical
+    verify_cost: float = 0.0
+    verify_cost_record: float = 0.0
     # network
     latency: float = 0.002
     # traffic
@@ -84,6 +88,8 @@ class ServiceConfig:
             slo_queue_latency=self.slo,
             rate_limit=self.rate_limit,
             rate_burst=self.rate_burst,
+            verify_cost=self.verify_cost,
+            verify_cost_record=self.verify_cost_record,
         )
 
     @classmethod
@@ -187,6 +193,19 @@ SERVICE_PRESETS: Dict[str, ServiceConfig] = {
         seed="storm1k",
     ),
 }
+
+# the smoke scenario with the verify-cost model armed: each verdict is
+# charged per-report + per-record sim time, so vserver.stage.verify
+# observes real values (ROADMAP section-2 gap).  Costs are small
+# relative to the 0.25s epoch so conclusions land inside the horizon;
+# the seed stays "smoke" on purpose -- identical traffic, so the cost
+# model's pure-deferral property (same ledger lines, later delivery)
+# is directly testable against the golden smoke ledger.
+SERVICE_PRESETS["smoke-cost"] = replace(
+    SERVICE_PRESETS["smoke"],
+    verify_cost=0.002,
+    verify_cost_record=0.0005,
+)
 
 
 def service_preset(name: str) -> ServiceConfig:

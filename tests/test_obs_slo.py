@@ -1,0 +1,230 @@
+"""Sim-time SLO engine: DSL validation, multi-window burn-rate alert
+semantics on engineered traffic, and byte-level determinism of the
+summary under the seeded storm (via the fleet's ``RunSpec.slo`` axis).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.core import Observability
+from repro.obs.slo import (
+    SLO_PRESETS,
+    SLObjective,
+    SLOEngine,
+    parse_objectives,
+)
+from repro.sim.engine import Simulator
+
+
+class TestDsl:
+    def test_latency_clause(self):
+        (obj,) = parse_objectives("latency:ra.round_trip.latency<0.5@0.99")
+        assert obj.kind == "latency"
+        assert obj.source == "ra.round_trip.latency"
+        assert obj.threshold == 0.5
+        assert obj.target == 0.99
+
+    def test_ratio_clause_with_windows(self):
+        (obj,) = parse_objectives(
+            "ratio:vserver.verified/vserver.admitted@0.95!1/5"
+        )
+        assert obj.kind == "ratio"
+        assert obj.source == "vserver.verified"
+        assert obj.total_source == "vserver.admitted"
+        assert (obj.short_window, obj.long_window) == (1.0, 5.0)
+
+    def test_probe_clause(self):
+        (obj,) = parse_objectives("probe:deadline@0.999")
+        assert obj.kind == "probe"
+        assert obj.source == "deadline"
+
+    def test_window_suffix_default_long(self):
+        (obj,) = parse_objectives("probe:deadline@0.9!2")
+        assert (obj.short_window, obj.long_window) == (2.0, 10.0)
+
+    def test_preset_expansion(self):
+        objectives = parse_objectives("firealarm")
+        assert [o.kind for o in objectives] == ["latency", "probe"]
+        # every shipped preset must itself parse
+        for name in SLO_PRESETS:
+            assert parse_objectives(name)
+
+    def test_preset_mixed_with_clause(self):
+        objectives = parse_objectives("exchange,probe:deadline@0.99")
+        assert len(objectives) == 2
+
+    @pytest.mark.parametrize("junk", [
+        "",
+        "latency:x<0.5",              # missing @target
+        "latency:x@0.99",             # missing <threshold
+        "latency:x<banana@0.99",      # bad threshold
+        "ratio:x@0.9",                # missing /total
+        "probe:deadline@1.5",         # target out of (0,1)
+        "probe:deadline@0.9!0/5",     # zero short window
+        "probe:deadline@0.9!5/1",     # long < short
+        "gauge:x@0.9",                # unknown kind
+        "probe:d@0.9,probe:d@0.8",    # duplicate objective
+        "deadline@0.9",               # kind:source missing
+    ])
+    def test_junk_rejected(self, junk):
+        with pytest.raises(ConfigurationError):
+            parse_objectives(junk)
+
+    def test_objective_validation(self):
+        with pytest.raises(ConfigurationError):
+            SLObjective(name="x", kind="weird", target=0.9, source="x")
+        with pytest.raises(ConfigurationError):
+            SLObjective(name="x", kind="ratio", target=0.9, source="x")
+        with pytest.raises(ConfigurationError):
+            SLObjective(name="x", kind="latency", target=0.9, source="x")
+
+
+def engineered_run(good_gap_start=4.0, good_gap_end=8.0, horizon=12.0):
+    """One seeded run: a request counter ticks every 0.25s; inside the
+    gap window every request is bad, outside every request is good.
+    Returns (engine, obs) after the run."""
+    obs = Observability.enabled()
+    sim = Simulator(obs=obs)
+    good = obs.metrics.counter("svc.good", "good requests")
+    total = obs.metrics.counter("svc.total", "all requests")
+
+    def request() -> None:
+        total.inc()
+        if not good_gap_start <= sim.now < good_gap_end:
+            good.inc()
+        if sim.now + 0.25 <= horizon:
+            sim.schedule(0.25, request)
+
+    sim.schedule(0.25, request)
+    engine = SLOEngine(
+        obs, parse_objectives("ratio:svc.good/svc.total@0.9!1/5")
+    )
+    engine.attach(sim, until=horizon)
+    sim.run(until=horizon)
+    return engine, obs
+
+
+class TestBurnRateAlerts:
+    def test_alert_fires_and_resolves_on_engineered_burn(self):
+        """100% errors against a 10% budget is a 10x burn -- both
+        windows cross the 2x threshold once the long window fills, and
+        the alert resolves after the traffic heals."""
+        engine, obs = engineered_run()
+        transitions = [a["transition"] for a in engine.alerts]
+        assert "firing" in transitions
+        assert "resolved" in transitions
+        firing = next(a for a in engine.alerts if a["transition"] == "firing")
+        assert firing["objective"] == "svc.good"
+        assert firing["burn_short"] >= 2.0
+        assert firing["burn_long"] >= 2.0
+        # the alert fires inside (or just after) the bad window, never
+        # before traffic went bad
+        assert firing["at"] >= 4.0
+
+    def test_alerts_are_first_class_spans(self):
+        engine, obs = engineered_run()
+        alert_spans = [s for s in obs.spans if s.category == "slo"]
+        assert len(alert_spans) == len(engine.alerts)
+        span = alert_spans[0]
+        assert span.name == "slo.alert.svc.good"
+        assert span.start == span.end  # instantaneous event
+        assert span.args["transition"] == "firing"
+        assert span.args["target"] == 0.9
+
+    def test_healthy_traffic_never_alerts(self):
+        engine, _ = engineered_run(good_gap_start=99.0, good_gap_end=99.0)
+        assert engine.alerts == []
+        summary = engine.summary()
+        objective = summary["objectives"]["svc.good"]
+        assert objective["met"] is True
+        assert objective["compliance"] == 1.0
+        assert objective["alerts"] == 0
+
+    def test_summary_reports_compliance_and_worst_burn(self):
+        engine, _ = engineered_run()
+        objective = engine.summary()["objectives"]["svc.good"]
+        assert objective["kind"] == "ratio"
+        assert 0.0 < objective["compliance"] < 1.0
+        assert objective["worst_burn_short"] >= 2.0
+        assert objective["alerts"] >= 1
+
+    def test_deterministic_across_identical_runs(self):
+        first, _ = engineered_run()
+        second, _ = engineered_run()
+        assert first.alerts == second.alerts
+        assert first.summary() == second.summary()
+
+    def test_probe_objective(self):
+        """Probes bridge sim-state the registry does not carry."""
+        obs = Observability.enabled()
+        sim = Simulator(obs=obs)
+        state = {"good": 0, "total": 0}
+
+        def job() -> None:
+            state["total"] += 1
+            if state["total"] % 4:  # every 4th job misses its deadline
+                state["good"] += 1
+            if sim.now + 0.2 <= 10.0:
+                sim.schedule(0.2, job)
+
+        sim.schedule(0.2, job)
+        engine = SLOEngine(obs, parse_objectives("probe:deadline@0.99"))
+        engine.register_probe(
+            "deadline", lambda: (state["good"], state["total"])
+        )
+        engine.attach(sim, until=10.0)
+        sim.run(until=10.0)
+        objective = engine.summary()["objectives"]["deadline"]
+        assert objective["total"] == state["total"]
+        assert objective["met"] is False  # 75% << 99%
+        assert engine.alerts and engine.alerts[0]["transition"] == "firing"
+
+    def test_engine_requires_objectives_and_sane_interval(self):
+        obs = Observability.enabled()
+        with pytest.raises(ConfigurationError):
+            SLOEngine(obs, ())
+        with pytest.raises(ConfigurationError):
+            SLOEngine(
+                obs, parse_objectives("probe:d@0.9"), interval=0.0
+            )
+
+
+class TestFleetIntegration:
+    def test_runspec_slo_validates_at_construction(self):
+        from repro.fleet.campaign import RunSpec
+
+        with pytest.raises(ConfigurationError):
+            RunSpec(mechanism="smart", adversary="none", slo="nope@bad")
+
+    def test_runspec_slo_axis_is_identity_stable(self):
+        """An empty slo axis serializes to nothing -- pre-existing
+        run_ids (and therefore golden artifacts) are unchanged."""
+        from repro.fleet.campaign import RunSpec
+
+        bare = RunSpec(mechanism="smart", adversary="none")
+        assert "slo" not in bare.to_dict()
+        armed = bare.with_overrides(slo="firealarm")
+        assert armed.to_dict()["slo"] == "firealarm"
+        assert armed.run_id != bare.run_id
+
+    def test_seeded_storm_alerts_deterministically(self):
+        """The same spec executes twice to byte-identical results,
+        SLO summary included -- burn-rate alerts are simulation facts,
+        not wall-clock ones."""
+        from repro.fleet import canned_campaign
+        from repro.fleet.executor import execute_run
+
+        spec = canned_campaign("faults", seed_count=1).plan()[0]
+        spec = spec.with_overrides(slo="exchange,probe:deadline@0.999")
+
+        def run_once():
+            return execute_run(spec, obs=Observability.enabled())
+
+        first, second = run_once(), run_once()
+        assert first.slo
+        assert first.slo == second.slo
+        assert first.to_json_line() == second.to_json_line()
+        for objective in first.slo["objectives"].values():
+            assert set(objective) >= {
+                "compliance", "met", "alerts", "firing",
+            }

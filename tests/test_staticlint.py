@@ -934,3 +934,104 @@ class TestRegistry:
             build_report(
                 [], config=LintConfig(select=("no-such-rule",))
             )
+
+
+CTX_DROP_BAD = (
+    "def _on_message(self, message):\n"
+    "    self.device.nic.send(\n"
+    "        self.parent, 'lisa_report', message.payload\n"
+    "    )\n"
+)
+
+CTX_DROP_SUPPRESSED = (
+    "def _on_message(self, message):\n"
+    "    # the probe reply starts no exchange of its own\n"
+    "    self.endpoint.send(  # repro: allow[obs-ctx-drop] -- untraced\n"
+    "        message.src, 'probe_ack', {}\n"
+    "    )\n"
+)
+
+CTX_DROP_GOOD = (
+    "def _on_message(self, message):\n"
+    "    self.device.nic.send(\n"
+    "        self.parent, 'lisa_report', message.payload,\n"
+    "        ctx=message.ctx,\n"
+    "    )\n"
+)
+
+
+class TestObsCtxDropRule:
+    RULE = "obs-ctx-drop"
+
+    def test_forward_without_ctx_flagged(self):
+        found = live(
+            findings_for(
+                CTX_DROP_BAD, path="src/repro/swarm/fake.py",
+                rule=self.RULE,
+            )
+        )
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "TraceContext is dropped" in found[0].message
+
+    def test_suppressed_inline(self):
+        found = findings_for(
+            CTX_DROP_SUPPRESSED, path="src/repro/swarm/fake.py",
+            rule=self.RULE,
+        )
+        assert len(found) == 1 and found[0].suppressed
+
+    def test_ctx_keyword_not_flagged(self):
+        found = findings_for(
+            CTX_DROP_GOOD, path="src/repro/swarm/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+    def test_positional_ctx_not_flagged(self):
+        src = (
+            "def _on_message(self, msg):\n"
+            "    self.endpoint.send(msg.src, 'ack', {}, msg.ctx)\n"
+        )
+        found = findings_for(
+            src, path="src/repro/swarm/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+    def test_send_report_helper_covered(self):
+        src = (
+            "def _on_request(self, message):\n"
+            "    send_report(self.endpoint, message.src, report)\n"
+        )
+        found = live(
+            findings_for(src, path="src/repro/ra/fake.py", rule=self.RULE)
+        )
+        assert len(found) == 1 and "send_report" in found[0].message
+
+    def test_non_handler_sends_ignored(self):
+        # minting sites (no message/msg param) start fresh exchanges;
+        # the rule only polices handlers that *received* a context
+        src = (
+            "def attest(self):\n"
+            "    self.endpoint.send(self.root, 'swarm_attest', {})\n"
+        )
+        found = findings_for(
+            src, path="src/repro/swarm/fake.py", rule=self.RULE
+        )
+        assert found == []
+
+    def test_self_scan_is_clean(self):
+        # the real protocol handlers all thread their contexts
+        from pathlib import Path
+
+        from repro.staticlint.engine import analyze_source
+
+        config = LintConfig(select=(self.RULE,))
+        root = Path("src/repro")
+        flagged = []
+        for path in sorted(root.rglob("*.py")):
+            found = analyze_source(
+                path.read_text(encoding="utf-8"),
+                path=str(path), config=config,
+            )
+            flagged.extend(f for f in found if not f.suppressed)
+        assert flagged == []
