@@ -31,7 +31,7 @@ def fresh_stack():
     channel = Channel(sim, latency=0.002)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     driver = OnDemandVerifier(verifier, channel)
     return sim, device, driver
 
@@ -86,7 +86,7 @@ def test_ablation_overhead_grades(benchmark):
         channel = Channel(sim, latency=0.002)
         device.attach_network(channel)
         verifier = Verifier(sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         from repro.ra.erasmus import CollectorVerifier
 
         service = ErasmusService(

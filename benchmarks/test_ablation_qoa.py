@@ -33,7 +33,7 @@ def run_erasmus_detection(t_m, dwell, phase, horizon=40.0):
     channel = Channel(sim, latency=0.002)
     device.attach_network(channel)
     verifier = Verifier(sim)
-    verifier.register_from_device(device)
+    verifier.enroll(device)
     service = ErasmusService(
         device, period=t_m,
         config=MeasurementConfig(atomic=True, priority=50,

@@ -69,7 +69,7 @@ def run_naive(count, shape="tree"):
     topology = make_topology(sim, count=count, shape=shape)
     verifier = Verifier(sim)
     for device in topology.devices:
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         SmartAttestation(device).install()
     driver = OnDemandVerifier(verifier, topology.channel,
                               endpoint_name="naive-vrf")

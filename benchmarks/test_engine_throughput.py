@@ -81,7 +81,7 @@ def test_full_protocol_throughput(benchmark):
         channel = Channel(sim, latency=0.002)
         device.attach_network(channel)
         verifier = Verifier(sim)
-        verifier.register_from_device(device)
+        verifier.enroll(device)
         SmartAttestation(device).install()
         driver = OnDemandVerifier(verifier, channel)
         exchange = driver.request(device.name)

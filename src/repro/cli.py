@@ -16,7 +16,8 @@ Each subcommand regenerates one paper artifact on stdout::
 and the fleet campaign runner (docs/fleet.md)::
 
     repro fleet plan      # expand a campaign into its run list
-    repro fleet run       # execute it (serial or process pool)
+    repro fleet run       # staged pipeline: shard / execute / stream
+    repro fleet worker    # claim spooled shards (remote-worker stub)
     repro fleet summarize # re-aggregate existing artifacts
 
 plus the in-tree static analyzer (docs/static_analysis.md)::
@@ -110,13 +111,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="the optimized adversary's speed factor")
 
     fleet = sub.add_parser(
-        "fleet", help="campaign runner: plan / run / summarize"
+        "fleet", help="campaign runner: plan / run / worker / summarize"
     )
     fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
 
     def add_campaign_options(p):
         p.add_argument("--campaign", default="qoa",
-                       help="canned campaign name (qoa, matrix, locking)")
+                       help="canned campaign name "
+                            "(qoa, matrix, locking, hetero)")
         p.add_argument("--spec", default=None,
                        help="JSON campaign spec file (overrides --campaign)")
         p.add_argument("--seeds", type=int, default=None,
@@ -127,8 +129,15 @@ def _build_parser() -> argparse.ArgumentParser:
     plan = fleet_sub.add_parser("plan", help="expand and print the run list")
     add_campaign_options(plan)
 
-    run = fleet_sub.add_parser("run", help="execute a campaign")
+    run = fleet_sub.add_parser(
+        "run", help="execute a campaign through the staged pipeline"
+    )
     add_campaign_options(run)
+    run.add_argument(
+        "--backend", default=None,
+        help="execution backend: serial, process[:N], spool:DIR "
+             "(overrides --workers/--mode)",
+    )
     run.add_argument("--workers", type=int, default=0,
                      help="worker processes (0/1 = serial)")
     run.add_argument("--mode", default="auto",
@@ -140,8 +149,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-run wall-clock budget, seconds (0 = none)")
     run.add_argument("--out", default="fleet-artifacts",
                      help="artifact output directory")
-    run.add_argument("--resume", action="store_true",
-                     help="skip runs already in the artifact directory")
+    run.add_argument(
+        "--resume", action="store_true",
+        help="restore checkpointed shards / prior results for the "
+             "same plan and execute only what is missing",
+    )
     run.add_argument(
         "--incremental", action="store_true",
         help=(
@@ -150,6 +162,27 @@ def _build_parser() -> argparse.ArgumentParser:
             "it subsumes)"
         ),
     )
+    run.add_argument(
+        "--keep-checkpoints", action="store_true",
+        help="keep the shards/ checkpoint directory after finalize "
+             "(debugging aid)",
+    )
+
+    worker = fleet_sub.add_parser(
+        "worker", help="spool worker: claim and execute spooled shards"
+    )
+    worker.add_argument(
+        "--spool", required=True,
+        help="spool directory shared with `fleet run --backend spool:DIR`",
+    )
+    worker.add_argument("--once", action="store_true",
+                        help="drain the current inbox and exit")
+    worker.add_argument(
+        "--idle-timeout", type=float, default=0.0,
+        help="exit after this many idle seconds (0 = run forever)",
+    )
+    worker.add_argument("--poll", type=float, default=0.05,
+                        help="inbox poll interval, seconds")
 
     summ = fleet_sub.add_parser(
         "summarize", help="re-aggregate an existing runs.jsonl"
@@ -285,6 +318,18 @@ def _run_fleet(args: argparse.Namespace) -> str:
         results = fleet.read_results_jsonl(paths.runs)
         return fleet.summarize(results, campaign=args.campaign).render()
 
+    if args.fleet_command == "worker":
+        lines = []
+        spool_worker = fleet.SpoolWorker(args.spool)
+        processed = spool_worker.run(
+            once=args.once,
+            poll_interval=args.poll,
+            idle_timeout=args.idle_timeout,
+            log=lines.append,
+        )
+        lines.append(f"processed {processed} shard(s) from {args.spool}")
+        return "\n".join(lines)
+
     campaign = _fleet_campaign(args)
     specs = campaign.plan()
     if args.limit is not None:
@@ -308,50 +353,38 @@ def _run_fleet(args: argparse.Namespace) -> str:
             )
         return "\n".join(lines)
 
-    # fleet run
+    # fleet run: the staged pipeline (plan -> shard -> execute ->
+    # stream -> reduce); results checkpoint per shard and fold through
+    # a memory-bounded streaming reducer (docs/fleet.md).
     if args.timeout > 0:
         specs = [spec.with_overrides(timeout=args.timeout) for spec in specs]
-    done = []
     lines = []
-    fingerprint = None
-    paths = fleet.artifact_paths(args.out, campaign.name)
-    if args.incremental:
-        # Incremental subsumes --resume: prior results are reused, but
-        # only when the manifest's source fingerprint still matches.
-        fingerprint = fleet.source_fingerprint()
-        store = fleet.RunResultStore(args.out, campaign.name)
-        done, specs_to_run = store.cached(specs, fingerprint)
-        lines.append(
-            f"incremental: {len(done)}/{len(specs)} cache hits "
-            f"({len(specs_to_run)} to run)"
-        )
-    elif args.resume and paths.runs.exists():
-        done = fleet.read_results_jsonl(paths.runs)
-        specs_to_run = fleet.pending_specs(specs, done)
+    if args.backend:
+        backend = fleet.resolve_backend(args.backend)
+    elif args.mode == "parallel" or (args.mode == "auto" and args.workers > 1):
+        backend = fleet.ProcessPoolBackend(workers=args.workers)
     else:
-        specs_to_run = specs
-    config = fleet.ExecutorConfig(
-        workers=args.workers,
-        mode=args.mode,
+        backend = fleet.SerialBackend()
+    config = fleet.PipelineConfig(
         shard_size=args.shard_size,
         retries=args.retries,
+        resume=args.resume,
+        incremental=args.incremental,
+        keep_checkpoints=args.keep_checkpoints,
     )
-    report = fleet.execute_campaign(
-        specs_to_run, config, log=lines.append
+    report = fleet.run_pipeline(
+        campaign,
+        specs,
+        out_dir=args.out,
+        backend=backend,
+        config=config,
+        log=lines.append,
     )
-    kept = {result.run_id for result in report.results}
-    merged = [r for r in done if r.run_id not in kept] + report.results
-    wanted = {spec.run_id for spec in specs}
-    merged = [r for r in merged if r.run_id in wanted]
-    paths = fleet.write_artifacts(
-        args.out, campaign, merged, report, code_fingerprint=fingerprint
-    )
-    summary = fleet.summarize(merged, campaign=campaign.name)
     lines.extend([
         report.summary_line(),
-        f"artifacts: {paths.root}",
+        f"artifacts: {report.paths.root}",
         "",
-        summary.render(),
+        report.summary.render(),
     ])
     return "\n".join(lines)
 

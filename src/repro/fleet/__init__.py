@@ -1,23 +1,44 @@
 """Fleet campaigns: plan, execute and aggregate simulation sweeps.
 
 The fleet layer sits *above* the single-run stack (``sim``/``ra``/
-``apps``): it turns declarative :class:`CampaignSpec` sweeps into
-deterministic :class:`RunSpec` plans, executes them serially or across
-a process pool (:func:`execute_campaign`), and folds the structured
-:class:`RunResult` telemetry into JSONL artifacts and per-mechanism
-summary tables.  See docs/fleet.md for the artifact layout.
+``apps``): it turns declarative :class:`CampaignSpec` sweeps -- flat
+axes or heterogeneous :class:`Cohort` populations -- into deterministic
+:class:`RunSpec` plans and pushes them through a five-stage pipeline
+(:func:`run_pipeline`): plan -> shard -> execute -> stream -> reduce.
+Execution is pluggable via :class:`ExecutorBackend` (in-process serial,
+process pool, or a file-spool of remote workers); completed shards
+checkpoint to disk for kill-safe ``--resume``; and results stream
+through a memory-bounded :class:`StreamingAggregator` whose artifacts
+are byte-identical to the legacy in-RAM batch path
+(:func:`execute_campaign` + :func:`write_artifacts`, both still
+supported for small sweeps).  See docs/fleet.md for the artifact
+layout and the migration guide.
 """
 
+from repro.fleet.backends import (
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    Shard,
+    ShardOutcome,
+    SpoolBackend,
+    SpoolWorker,
+    make_shards,
+    resolve_backend,
+)
 from repro.fleet.campaign import (
     CANNED_CAMPAIGNS,
+    DEVICE_CLASSES,
     CampaignSpec,
+    Cohort,
     RunSpec,
     canned_campaign,
+    hetero_fleet_campaign,
     locking_availability_campaign,
     matrix_fleet_campaign,
     qoa_fleet_campaign,
 )
-from repro.fleet.clock import ClockFn, perf_time, wall_time
+from repro.fleet.clock import ClockFn, monotonic_time, perf_time, wall_time
 from repro.fleet.executor import (
     ExecutionReport,
     ExecutorConfig,
@@ -25,14 +46,19 @@ from repro.fleet.executor import (
     InjectedFailure,
     execute_campaign,
     execute_run,
-    make_shards,
     run_one,
+)
+from repro.fleet.pipeline import (
+    PipelineConfig,
+    PipelineReport,
+    run_pipeline,
 )
 from repro.fleet.results import (
     ArtifactPaths,
     CampaignManifest,
     CampaignSummary,
     GroupSummary,
+    StreamingAggregator,
     artifact_paths,
     pending_specs,
     percentile,
@@ -42,49 +68,76 @@ from repro.fleet.results import (
     write_artifacts,
     write_results_jsonl,
 )
-from repro.fleet.store import RunResultStore, source_fingerprint
+from repro.fleet.store import (
+    RunResultStore,
+    ShardCheckpointStore,
+    plan_hash,
+    source_fingerprint,
+)
 from repro.fleet.telemetry import (
     STATUS_ERROR,
     STATUS_OK,
     STATUS_TIMEOUT,
+    ExchangeSketch,
     RunResult,
+    ValueSketch,
     failure_result,
     verdict_histogram,
 )
 
 __all__ = [
     "CANNED_CAMPAIGNS",
+    "DEVICE_CLASSES",
     "ArtifactPaths",
     "ClockFn",
     "CampaignManifest",
     "CampaignSpec",
     "CampaignSummary",
+    "Cohort",
+    "ExchangeSketch",
     "ExecutionReport",
+    "ExecutorBackend",
     "ExecutorConfig",
     "FleetTimeout",
     "GroupSummary",
     "InjectedFailure",
+    "PipelineConfig",
+    "PipelineReport",
+    "ProcessPoolBackend",
     "RunResult",
     "RunResultStore",
     "RunSpec",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_TIMEOUT",
+    "SerialBackend",
+    "Shard",
+    "ShardCheckpointStore",
+    "ShardOutcome",
+    "SpoolBackend",
+    "SpoolWorker",
+    "StreamingAggregator",
+    "ValueSketch",
     "artifact_paths",
     "canned_campaign",
     "execute_campaign",
     "execute_run",
     "failure_result",
+    "hetero_fleet_campaign",
     "locking_availability_campaign",
     "make_shards",
     "matrix_fleet_campaign",
+    "monotonic_time",
     "pending_specs",
     "perf_time",
     "percentile",
+    "plan_hash",
     "qoa_fleet_campaign",
     "read_manifest",
     "read_results_jsonl",
+    "resolve_backend",
     "run_one",
+    "run_pipeline",
     "source_fingerprint",
     "summarize",
     "verdict_histogram",

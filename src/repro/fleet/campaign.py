@@ -44,6 +44,52 @@ KNOWN_ADVERSARIES = ("none", "transient", "relocating")
 
 KNOWN_WORKLOADS = ("none", "firealarm", "writers")
 
+#: device-class presets for heterogeneous populations: named geometry
+#: bundles applied at *plan* time (preset < base < axes precedence), so
+#: one campaign sweeps cohorts of class-0 sensors next to gateway-class
+#: boxes without spelling the geometry per cohort.  The label itself
+#: rides in ``RunSpec.device_class`` and participates in ``run_id``.
+DEVICE_CLASSES: Dict[str, Dict[str, Any]] = {
+    # 8-block class-0 sensor node: tiny image, tight RAM
+    "sensor": {
+        "block_count": 8,
+        "block_size": 32,
+        "sim_block_size": MiB,
+    },
+    # mid-range actuator with a moderate firmware image
+    "actuator": {
+        "block_count": 16,
+        "block_size": 32,
+        "sim_block_size": 2 * MiB,
+    },
+    # edge gateway: the largest image the paper's timing model covers
+    "gateway": {
+        "block_count": 64,
+        "block_size": 64,
+        "sim_block_size": 4 * MiB,
+    },
+}
+
+
+def apply_device_class(fields_for_run: Dict[str, Any]) -> Dict[str, Any]:
+    """Resolve a ``device_class`` label into concrete geometry fields.
+
+    Preset values lose to anything explicitly present in
+    ``fields_for_run`` (preset < base < axes), so a cohort can pin a
+    class and still override one knob.
+    """
+    label = fields_for_run.get("device_class", "")
+    if not label:
+        return dict(fields_for_run)
+    preset = DEVICE_CLASSES.get(label)
+    if preset is None:
+        raise ConfigurationError(
+            f"unknown device_class {label!r}; known: {sorted(DEVICE_CLASSES)}"
+        )
+    merged = dict(preset)
+    merged.update(fields_for_run)
+    return merged
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -107,6 +153,20 @@ class RunSpec:
     #: from to_dict()/run_id when empty, same identity-stability rule
     #: as ``faults``.
     slo: str = ""
+    # -- heterogeneous population -----------------------------------------
+    #: device-class label (see :data:`DEVICE_CLASSES`); the planner
+    #: resolves it into geometry via :func:`apply_device_class`, and the
+    #: label itself is part of the run identity.  Excluded from
+    #: to_dict()/run_id when empty, same identity-stability rule as
+    #: ``faults``.
+    device_class: str = ""
+    #: firmware version label; folds into the device image seed so two
+    #: firmware versions measure different images under the same run
+    #: seed.  Same empty-excluded identity rule.
+    firmware: str = ""
+    #: cohort name stamped by the planner when a campaign declares
+    #: per-cohort sub-populations.  Same empty-excluded identity rule.
+    cohort: str = ""
 
     def __post_init__(self) -> None:
         if self.mechanism not in KNOWN_MECHANISMS:
@@ -143,17 +203,22 @@ class RunSpec:
             from repro.obs.slo import parse_objectives
 
             parse_objectives(self.slo)
+        if self.device_class and self.device_class not in DEVICE_CLASSES:
+            raise ConfigurationError(
+                f"unknown device_class {self.device_class!r}; "
+                f"known: {sorted(DEVICE_CLASSES)}"
+            )
 
     # -- identity -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         data = asdict(self)
-        if not data["faults"]:
-            del data["faults"]
-        if not data["service"]:
-            del data["service"]
-        if not data["slo"]:
-            del data["slo"]
+        for empty_excluded in (
+            "faults", "service", "slo", "device_class", "firmware",
+            "cohort",
+        ):
+            if not data[empty_excluded]:
+                del data[empty_excluded]
         return data
 
     @classmethod
@@ -186,6 +251,86 @@ class RunSpec:
         return replace(self, **overrides)
 
 
+def _check_sweep(
+    source: str,
+    base: Dict[str, Any],
+    axes: Dict[str, List[Any]],
+) -> None:
+    """Shared base/axes validation for campaigns and their cohorts."""
+    known = {f.name for f in fields(RunSpec)}
+    for label, keys in ((f"{source} base", base), (f"{source} axes", axes)):
+        unknown = set(keys) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunSpec fields in {label}: {sorted(unknown)}"
+            )
+    for key, values in axes.items():
+        if not values:
+            raise ConfigurationError(f"axis {key!r} has no values")
+    overlap = set(axes) & set(base)
+    if overlap:
+        raise ConfigurationError(
+            f"fields both fixed and swept in {source}: {sorted(overlap)}"
+        )
+    for keys in (base, axes):
+        if "seed" in keys:
+            raise ConfigurationError("sweep seeds via the 'seeds' argument")
+        if "cohort" in keys:
+            raise ConfigurationError(
+                "cohort is stamped by the planner; name cohorts via "
+                "the 'cohorts' argument"
+            )
+
+
+class Cohort:
+    """One sub-population of a heterogeneous campaign.
+
+    A cohort overlays its own fixed fields and swept axes on the
+    campaign-level ``base``/``axes`` (cohort wins on conflicts) and may
+    pin its own seed list.  The planner stamps every expanded spec with
+    ``cohort=<name>``, so per-cohort populations stay distinguishable
+    in artifacts and summaries.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: Optional[Dict[str, Any]] = None,
+        axes: Optional[Dict[str, Sequence[Any]]] = None,
+        seeds: Optional[Iterable[int]] = None,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("cohort needs a non-empty name")
+        self.name = name
+        self.base = dict(base or {})
+        self.axes = {key: list(values) for key, values in (axes or {}).items()}
+        self.seeds = None if seeds is None else [int(s) for s in seeds]
+        if self.seeds is not None and not self.seeds:
+            raise ConfigurationError(
+                f"cohort {name!r} needs at least one seed"
+            )
+        _check_sweep(f"cohort {name!r}", self.base, self.axes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "base": dict(sorted(self.base.items())),
+            "axes": {k: self.axes[k] for k in sorted(self.axes)},
+        }
+        if self.seeds is not None:
+            data["seeds"] = list(self.seeds)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Cohort":
+        return cls(
+            name=data["name"],
+            base=data.get("base"),
+            axes=data.get("axes"),
+            seeds=data.get("seeds"),
+        )
+
+
 class CampaignSpec:
     """A declarative sweep: fixed ``base`` fields, swept ``axes``.
 
@@ -200,6 +345,12 @@ class CampaignSpec:
             axes={"t_m": [2.0, 4.0], "dwell": [1.0, 3.0]},
             seeds=range(5),
         )
+
+    Heterogeneous populations declare ``cohorts``: an ordered list of
+    :class:`Cohort` (or their dict form), each overlaying the campaign
+    base/axes with its own device class, firmware versions, mechanism
+    sweep or seed list.  Cohorts expand in declared order, each with
+    the same sorted-axis cartesian product as a flat campaign.
     """
 
     def __init__(
@@ -208,6 +359,7 @@ class CampaignSpec:
         base: Optional[Dict[str, Any]] = None,
         axes: Optional[Dict[str, Sequence[Any]]] = None,
         seeds: Iterable[int] = (7,),
+        cohorts: Optional[Sequence[Any]] = None,
     ) -> None:
         if not name or "/" in name:
             raise ConfigurationError(
@@ -219,56 +371,93 @@ class CampaignSpec:
         self.seeds = [int(s) for s in seeds]
         if not self.seeds:
             raise ConfigurationError("campaign needs at least one seed")
-        known = {f.name for f in fields(RunSpec)}
-        for source, keys in (("base", self.base), ("axes", self.axes)):
-            unknown = set(keys) - known
-            if unknown:
+        _check_sweep("campaign", self.base, self.axes)
+        self.cohorts: List[Cohort] = []
+        for entry in cohorts or ():
+            cohort = entry if isinstance(entry, Cohort) else Cohort.from_dict(entry)
+            if any(existing.name == cohort.name for existing in self.cohorts):
                 raise ConfigurationError(
-                    f"unknown RunSpec fields in {source}: {sorted(unknown)}"
+                    f"duplicate cohort name {cohort.name!r}"
                 )
-        for key, values in self.axes.items():
-            if not values:
-                raise ConfigurationError(f"axis {key!r} has no values")
-        overlap = set(self.axes) & set(self.base)
-        if overlap:
-            raise ConfigurationError(
-                f"fields both fixed and swept: {sorted(overlap)}"
-            )
-        if "seed" in self.axes or "seed" in self.base:
-            raise ConfigurationError("sweep seeds via the 'seeds' argument")
+            # bounded by the declared spec, never per-run growth
+            self.cohorts.append(cohort)  # repro: allow[perf-unbounded-queue]
 
     # -- planning -------------------------------------------------------
 
-    def plan(self) -> List[RunSpec]:
-        """Expand into the full, deterministically-ordered run list."""
-        axis_keys = sorted(self.axes)
-        axis_values = [self.axes[key] for key in axis_keys]
+    def _expand(
+        self,
+        base: Dict[str, Any],
+        axes: Dict[str, List[Any]],
+        seeds: Sequence[int],
+        cohort: str = "",
+    ) -> List[RunSpec]:
+        axis_keys = sorted(axes)
+        axis_values = [axes[key] for key in axis_keys]
         specs: List[RunSpec] = []
         for combo in itertools.product(*axis_values):
-            fields_for_run = dict(self.base)
+            fields_for_run = dict(base)
             fields_for_run.update(dict(zip(axis_keys, combo)))
-            for seed in self.seeds:
+            if cohort:
+                fields_for_run["cohort"] = cohort
+            fields_for_run = apply_device_class(fields_for_run)
+            for seed in seeds:
                 specs.append(
                     RunSpec(campaign=self.name, seed=seed, **fields_for_run)
                 )
         return specs
 
+    def plan(self) -> List[RunSpec]:
+        """Expand into the full, deterministically-ordered run list."""
+        if not self.cohorts:
+            return self._expand(self.base, self.axes, self.seeds)
+        specs: List[RunSpec] = []
+        for cohort in self.cohorts:
+            base = dict(self.base)
+            base.update(cohort.base)
+            axes = dict(self.axes)
+            axes.update(cohort.axes)
+            # a cohort may fix a field the campaign sweeps; its base
+            # wins, so drop the shadowed campaign axis
+            for key in cohort.base:
+                axes.pop(key, None)
+            seeds = cohort.seeds if cohort.seeds is not None else self.seeds
+            specs.extend(self._expand(base, axes, seeds, cohort=cohort.name))
+        return specs
+
     @property
     def run_count(self) -> int:
-        count = 1
-        for values in self.axes.values():
-            count *= len(values)
-        return count * len(self.seeds)
+        if not self.cohorts:
+            count = 1
+            for values in self.axes.values():
+                count *= len(values)
+            return count * len(self.seeds)
+        total = 0
+        for cohort in self.cohorts:
+            axes = dict(self.axes)
+            axes.update(cohort.axes)
+            for key in cohort.base:
+                axes.pop(key, None)
+            count = 1
+            for values in axes.values():
+                count *= len(values)
+            seeds = cohort.seeds if cohort.seeds is not None else self.seeds
+            total += count * len(seeds)
+        return total
 
     # -- serialization --------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "base": dict(sorted(self.base.items())),
             "axes": {k: self.axes[k] for k in sorted(self.axes)},
             "seeds": list(self.seeds),
         }
+        if self.cohorts:
+            # key is present only on heterogeneous campaigns, so flat
+            # campaigns keep their historical spec_hash
+            data["cohorts"] = [cohort.to_dict() for cohort in self.cohorts]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
@@ -277,6 +466,7 @@ class CampaignSpec:
             base=data.get("base"),
             axes=data.get("axes"),
             seeds=data.get("seeds", (7,)),
+            cohorts=data.get("cohorts"),
         )
 
     @property
@@ -421,12 +611,52 @@ def vserver_service_campaign(seed_count: int = 2) -> CampaignSpec:
     )
 
 
+def hetero_fleet_campaign(seed_count: int = 2) -> CampaignSpec:
+    """A heterogeneous fleet: three device-class cohorts, mixed
+    firmware versions and mechanisms, one campaign.
+
+    The swarm-scale deployment question the paper leaves open: a real
+    population is never uniform, so availability/QoA rows must hold
+    per cohort -- tiny sensors on self-measurement next to gateways
+    running SMARM -- while the artifacts stay one diffable campaign.
+    """
+    return CampaignSpec(
+        name="hetero-fleet",
+        base={
+            "adversary": "transient",
+            "workload": "firealarm",
+            "horizon": 24.0,
+            "infect_at": 2.0,
+        },
+        cohorts=[
+            Cohort(
+                name="sensors",
+                base={"device_class": "sensor", "mechanism": "erasmus",
+                      "t_m": 4.0, "t_c": 12.0},
+                axes={"firmware": ["fw-1.0", "fw-1.1"]},
+            ),
+            Cohort(
+                name="actuators",
+                base={"device_class": "actuator", "firmware": "fw-2.0"},
+                axes={"mechanism": ["smart", "inc-lock"]},
+            ),
+            Cohort(
+                name="gateways",
+                base={"device_class": "gateway", "mechanism": "smarm",
+                      "firmware": "fw-3.1"},
+            ),
+        ],
+        seeds=range(seed_count),
+    )
+
+
 CANNED_CAMPAIGNS: Dict[str, Callable[[int], CampaignSpec]] = {
     "qoa": qoa_fleet_campaign,
     "matrix": matrix_fleet_campaign,
     "locking": locking_availability_campaign,
     "faults": fault_matrix_campaign,
     "vserver": vserver_service_campaign,
+    "hetero": hetero_fleet_campaign,
 }
 
 

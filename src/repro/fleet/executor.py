@@ -90,6 +90,22 @@ def _scenario_config(spec: RunSpec) -> ScenarioConfig:
     )
 
 
+def _effective_seed(spec: RunSpec) -> int:
+    """Scenario seed, with the firmware version folded in.
+
+    Two firmware versions of the same cohort must measure *different*
+    device images under the same nominal seed -- that is what makes a
+    heterogeneous campaign's per-cohort telemetry diverge the way real
+    mixed-firmware fleets do.  Stable across processes and machines
+    (pure SHA-256, no process salt)."""
+    if not spec.firmware:
+        return spec.seed
+    digest = hashlib.sha256(
+        f"{spec.seed}-{spec.firmware}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
 def _effective_infect_at(spec: RunSpec) -> float:
     """Infection time, with the seed-derived phase offset applied."""
     if spec.infect_jitter <= 0:
@@ -210,7 +226,7 @@ def _execute_service_run(spec: RunSpec, obs: Optional[Any]) -> RunResult:
     """
     import dataclasses
 
-    from repro.vserver.service import ServiceConfig, build_service_scenario
+    from repro.vserver.service import ServiceConfig
 
     if obs is None:
         obs = Observability(metrics=MetricsRegistry())
@@ -218,7 +234,7 @@ def _execute_service_run(spec: RunSpec, obs: Optional[Any]) -> RunResult:
     config = dataclasses.replace(
         config, seed=f"{config.seed}-s{spec.seed:04d}"
     )
-    scenario = build_service_scenario(config, obs=obs)
+    scenario = Scenario.build(service=config, obs=obs)
     slo_engine = _attach_slo(spec, obs, scenario.sim, config.horizon)
     sim_time = scenario.sim.run(until=config.horizon)
     server = scenario.server
@@ -305,7 +321,7 @@ def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
             else None
         ),
         config=_scenario_config(spec),
-        seed=spec.seed,
+        seed=_effective_seed(spec),
         retry=_retry_policy(spec) if faults else None,
         obs=obs,
         trace=Trace(max_records=spec.trace_limit),
@@ -417,8 +433,15 @@ def execute_run(spec: RunSpec, obs: Optional[Any] = None) -> RunResult:
 @contextmanager
 def _deadline(seconds: float) -> Iterator[None]:
     """Raise :class:`FleetTimeout` if the block runs longer than
-    ``seconds`` of wall-clock time.  No-op when the budget is zero, on
-    platforms without ``SIGALRM``, or off the main thread."""
+    ``seconds`` of wall-clock time.
+
+    Degrades to a no-op (the run simply has no wall-clock budget)
+    whenever the platform cannot arm a timer: zero budget, no
+    ``SIGALRM``, off the main thread, or an interpreter whose signal
+    machinery refuses the handler (embedded CPython, exotic ports).
+    Timeouts are a containment nicety; failing to arm one must never
+    itself take down a worker thread or backend.
+    """
     usable = (
         seconds > 0
         and hasattr(signal, "SIGALRM")
@@ -431,12 +454,29 @@ def _deadline(seconds: float) -> Iterator[None]:
     def _on_alarm(signum, frame):
         raise FleetTimeout()
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except (ValueError, OSError, RuntimeError):
+        # main-thread checks can still lose the race (e.g. signal
+        # delivery restricted by the embedding application)
+        yield
+        return
+    try:
+        if hasattr(signal, "setitimer"):
+            signal.setitimer(signal.ITIMER_REAL, seconds)
+        else:  # pragma: no cover - platforms without setitimer
+            signal.alarm(max(1, int(seconds)))
+    except (ValueError, OSError):
+        signal.signal(signal.SIGALRM, previous)
+        yield
+        return
     try:
         yield
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        if hasattr(signal, "setitimer"):
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+        else:  # pragma: no cover - platforms without setitimer
+            signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
 
 

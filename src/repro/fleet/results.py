@@ -31,7 +31,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.fleet.campaign import CampaignSpec, RunSpec
 from repro.fleet.clock import ClockFn, wall_time
-from repro.fleet.telemetry import ExchangeSketch, RunResult
+from repro.fleet.telemetry import ExchangeSketch, RunResult, ValueSketch
 
 MANIFEST_VERSION = 1
 
@@ -100,7 +100,14 @@ def pending_specs(
 
 @dataclass
 class GroupSummary:
-    """Aggregates over one (mechanism, adversary) cell."""
+    """Aggregates over one (mechanism, adversary) cell.
+
+    Every field is a bounded, merge-able partial: counters, running
+    sums, and :class:`ValueSketch` distributions.  No per-run list is
+    retained, so a cell's footprint is independent of how many runs
+    fold into it, and two cells built from disjoint shard streams
+    combine exactly via :meth:`merge`.
+    """
 
     mechanism: str
     adversary: str
@@ -109,12 +116,18 @@ class GroupSummary:
     errors: int = 0
     timeouts: int = 0
     detected: int = 0
-    detection_latencies: List[float] = field(default_factory=list)
-    miss_rates: List[float] = field(default_factory=list)
+    #: bounded distribution of detection latencies across ok runs
+    detection_latency: ValueSketch = field(default_factory=ValueSketch)
+    #: running sum/count of per-run deadline-miss rates
+    miss_rate_sum: float = 0.0
+    miss_rate_count: int = 0
     worst_response: float = 0.0
     write_faults: int = 0
-    mp_durations: List[float] = field(default_factory=list)
-    detection_probabilities: List[float] = field(default_factory=list)
+    #: running sum/count + bounded distribution of MP durations
+    mp_duration: ValueSketch = field(default_factory=ValueSketch)
+    #: running sum/count of QoA detection probabilities
+    detection_probability_sum: float = 0.0
+    detection_probability_count: int = 0
     #: summed sim-time metric snapshots (repro.obs) across ok runs
     telemetry_totals: Dict[str, float] = field(default_factory=dict)
     #: merged per-shard exchange sketches (span-enabled runs only);
@@ -130,6 +143,79 @@ class GroupSummary:
     #: runs served from the incremental artifact cache; volatile, so
     #: excluded from the serialized summary (see :meth:`to_dict`)
     cache_hits: int = 0
+
+    def fold(self, result: RunResult) -> None:
+        """Fold one run's telemetry into this cell (streaming unit)."""
+        self.runs += 1
+        if result.status == "error":
+            self.errors += 1
+            return
+        if result.status == "timeout":
+            self.timeouts += 1
+            return
+        self.ok += 1
+        if result.cache_hit:
+            self.cache_hits += 1
+        if result.detected:
+            self.detected += 1
+        if result.detection_latency is not None:
+            self.detection_latency.observe(result.detection_latency)
+        if result.availability is not None:
+            self.miss_rate_sum += result.miss_rate
+            self.miss_rate_count += 1
+            self.worst_response = max(
+                self.worst_response,
+                result.availability.get("worst_response", 0.0),
+            )
+            self.write_faults += result.availability.get("write_faults", 0)
+        if result.measurements:
+            self.mp_duration.observe(result.mp_duration)
+        probability = result.qoa.get("detection_probability")
+        if probability is not None:
+            self.detection_probability_sum += probability
+            self.detection_probability_count += 1
+        for name, value in result.telemetry.items():
+            self.telemetry_totals[name] = (
+                self.telemetry_totals.get(name, 0.0) + value
+            )
+        self.fold_trace_summary(result.trace_summary)
+        self.fold_slo(result.slo)
+
+    def merge(self, other: "GroupSummary") -> "GroupSummary":
+        """Combine another cell's partials into this one.
+
+        Associative and commutative up to float-addition rounding, so
+        per-shard partial summaries reduce in any arrival order.
+        """
+        self.runs += other.runs
+        self.ok += other.ok
+        self.errors += other.errors
+        self.timeouts += other.timeouts
+        self.detected += other.detected
+        self.detection_latency.merge(other.detection_latency)
+        self.miss_rate_sum += other.miss_rate_sum
+        self.miss_rate_count += other.miss_rate_count
+        self.worst_response = max(self.worst_response, other.worst_response)
+        self.write_faults += other.write_faults
+        self.mp_duration.merge(other.mp_duration)
+        self.detection_probability_sum += other.detection_probability_sum
+        self.detection_probability_count += other.detection_probability_count
+        for name, value in other.telemetry_totals.items():
+            self.telemetry_totals[name] = (
+                self.telemetry_totals.get(name, 0.0) + value
+            )
+        if other.exchange_sketch is not None:
+            if self.exchange_sketch is None:
+                self.exchange_sketch = ExchangeSketch.from_dict(
+                    other.exchange_sketch.to_dict()
+                )
+            else:
+                self.exchange_sketch.merge(other.exchange_sketch)
+        self.traces += other.traces
+        self.slo_alerts += other.slo_alerts
+        self.slo_violations += other.slo_violations
+        self.cache_hits += other.cache_hits
+        return self
 
     def fold_trace_summary(self, summary: Dict[str, Any]) -> None:
         """Merge one run's ``trace_summary`` without rehydrating spans."""
@@ -163,48 +249,65 @@ class GroupSummary:
 
     @property
     def mean_miss_rate(self) -> float:
-        if not self.miss_rates:
+        if not self.miss_rate_count:
             return 0.0
-        return sum(self.miss_rates) / len(self.miss_rates)
+        return self.miss_rate_sum / self.miss_rate_count
+
+    @property
+    def mean_mp_duration(self) -> float:
+        return self.mp_duration.mean
+
+    @property
+    def mean_detection_probability(self) -> float:
+        if not self.detection_probability_count:
+            return 0.0
+        return self.detection_probability_sum / self.detection_probability_count
 
     def latency_percentiles(self) -> Dict[str, float]:
-        if not self.detection_latencies:
+        if not self.detection_latency.count:
             return {}
         return {
-            f"p{q}": percentile(self.detection_latencies, q)
+            f"p{q}": self.detection_latency.quantile(q / 100.0)
             for q in (50, 90, 99)
         }
 
     def to_dict(self) -> Dict[str, Any]:
-        data = asdict(self)
-        # the sketch serializes through its own canonical form; keys
-        # appear only when traced runs contributed, so untraced
-        # campaigns keep their historical summary bytes
-        data.pop("exchange_sketch", None)
-        for optional in ("traces", "slo_alerts", "slo_violations"):
-            if not data.get(optional):
-                data.pop(optional, None)
+        # built explicitly (not via asdict) because the sketches
+        # serialize through their own canonical form; optional keys
+        # appear only when traced/SLO runs contributed, so untraced
+        # campaigns keep their historical summary shape.  cache_hits
+        # is volatile (depends on what happened to be in the artifact
+        # cache), so a full run and an incremental re-run serialize
+        # identical summaries.
+        data: Dict[str, Any] = {
+            "mechanism": self.mechanism,
+            "adversary": self.adversary,
+            "runs": self.runs,
+            "ok": self.ok,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "detected": self.detected,
+            "worst_response": self.worst_response,
+            "write_faults": self.write_faults,
+        }
+        for optional, value in (
+            ("traces", self.traces),
+            ("slo_alerts", self.slo_alerts),
+            ("slo_violations", self.slo_violations),
+        ):
+            if value:
+                data[optional] = value
         if self.exchange_sketch is not None and self.exchange_sketch.count:
             data["exchanges"] = self.exchange_sketch.to_dict()
+        if self.detection_latency.count:
+            data["detection_latency"] = self.detection_latency.to_dict()
         data["detection_rate"] = self.detection_rate
         data["mean_miss_rate"] = self.mean_miss_rate
         data["latency_percentiles"] = self.latency_percentiles()
         data["telemetry_totals"] = dict(
             sorted(self.telemetry_totals.items())
         )
-        data["mean_mp_duration"] = (
-            sum(self.mp_durations) / len(self.mp_durations)
-            if self.mp_durations
-            else 0.0
-        )
-        # raw per-run lists are bulky; the summary keeps distributions.
-        # cache_hits is volatile (depends on what happened to be in the
-        # artifact cache), so a full run and an incremental re-run must
-        # serialize identical summaries.
-        for bulky in ("detection_latencies", "mp_durations",
-                      "miss_rates", "detection_probabilities",
-                      "cache_hits"):
-            data.pop(bulky, None)
+        data["mean_mp_duration"] = self.mean_mp_duration
         return data
 
 
@@ -242,8 +345,8 @@ class CampaignSummary:
             p50 = f"{pcts['p50']:9.3f}" if pcts else "        -"
             p90 = f"{pcts['p90']:9.3f}" if pcts else "        -"
             mp = (
-                f"{sum(g.mp_durations) / len(g.mp_durations):8.3f}"
-                if g.mp_durations
+                f"{g.mean_mp_duration:8.3f}"
+                if g.mp_duration.count
                 else "       -"
             )
             lines.append(
@@ -255,56 +358,71 @@ class CampaignSummary:
         return "\n".join(lines)
 
 
+class StreamingAggregator:
+    """Memory-bounded reducer over a stream of :class:`RunResult`.
+
+    The *reduce* stage of the campaign pipeline: results fold one at a
+    time into per-(mechanism, adversary) :class:`GroupSummary` cells
+    and a status histogram; nothing per-run is retained, so peak
+    memory is a function of cell count, never run count.  Whole
+    aggregators combine via :meth:`merge` -- the unit of cross-shard
+    (or cross-host) reduction.
+
+    :func:`summarize` is this class applied to an in-RAM batch, which
+    is what makes the streaming and batch paths byte-identical when
+    fed the same result order.
+    """
+
+    def __init__(self, campaign: str = "") -> None:
+        self.campaign = campaign
+        self.total = 0
+        self.groups: Dict[Tuple[str, str], GroupSummary] = {}
+        self.status_counts: Dict[str, int] = {}
+
+    def add(self, result: RunResult) -> None:
+        self.total += 1
+        self.status_counts[result.status] = (
+            self.status_counts.get(result.status, 0) + 1
+        )
+        mechanism = str(result.spec.get("mechanism", "?"))
+        adversary = str(result.spec.get("adversary", "?"))
+        self.campaign = self.campaign or str(result.spec.get("campaign", ""))
+        key = (mechanism, adversary)
+        group = self.groups.get(key)
+        if group is None:
+            group = self.groups[key] = GroupSummary(mechanism, adversary)
+        group.fold(result)
+
+    def merge(self, other: "StreamingAggregator") -> "StreamingAggregator":
+        self.total += other.total
+        self.campaign = self.campaign or other.campaign
+        for status, count in other.status_counts.items():
+            self.status_counts[status] = (
+                self.status_counts.get(status, 0) + count
+            )
+        for key, group in other.groups.items():
+            mine = self.groups.get(key)
+            if mine is None:
+                self.groups[key] = mine = GroupSummary(key[0], key[1])
+            mine.merge(group)
+        return self
+
+    def summary(self) -> CampaignSummary:
+        return CampaignSummary(
+            campaign=self.campaign,
+            groups=self.groups,
+            total_runs=self.total,
+        )
+
+
 def summarize(
     results: Iterable[RunResult], campaign: str = ""
 ) -> CampaignSummary:
     """Fold run results into per-(mechanism, adversary) summaries."""
-    groups: Dict[Tuple[str, str], GroupSummary] = {}
-    total = 0
+    aggregator = StreamingAggregator(campaign)
     for result in results:
-        total += 1
-        mechanism = str(result.spec.get("mechanism", "?"))
-        adversary = str(result.spec.get("adversary", "?"))
-        campaign = campaign or str(result.spec.get("campaign", ""))
-        key = (mechanism, adversary)
-        group = groups.get(key)
-        if group is None:
-            group = groups[key] = GroupSummary(mechanism, adversary)
-        group.runs += 1
-        if result.status == "error":
-            group.errors += 1
-            continue
-        if result.status == "timeout":
-            group.timeouts += 1
-            continue
-        group.ok += 1
-        if result.cache_hit:
-            group.cache_hits += 1
-        if result.detected:
-            group.detected += 1
-        if result.detection_latency is not None:
-            group.detection_latencies.append(result.detection_latency)
-        if result.availability is not None:
-            group.miss_rates.append(result.miss_rate)
-            group.worst_response = max(
-                group.worst_response,
-                result.availability.get("worst_response", 0.0),
-            )
-            group.write_faults += result.availability.get("write_faults", 0)
-        if result.measurements:
-            group.mp_durations.append(result.mp_duration)
-        probability = result.qoa.get("detection_probability")
-        if probability is not None:
-            group.detection_probabilities.append(probability)
-        for name, value in result.telemetry.items():
-            group.telemetry_totals[name] = (
-                group.telemetry_totals.get(name, 0.0) + value
-            )
-        group.fold_trace_summary(result.trace_summary)
-        group.fold_slo(result.slo)
-    return CampaignSummary(
-        campaign=campaign, groups=groups, total_runs=total
-    )
+        aggregator.add(result)
+    return aggregator.summary()
 
 
 # ---------------------------------------------------------------------------

@@ -43,19 +43,19 @@ SKETCH_BUCKETS = (
 SKETCH_TOP_K = 5
 
 
-class ExchangeSketch:
-    """Mergeable bounded-memory summary of per-exchange latencies.
+class ValueSketch:
+    """Mergeable bounded-memory summary of a scalar distribution.
 
-    The cross-shard reducer's unit of exchange telemetry: fixed-size
-    bucket counts (shared :data:`SKETCH_BUCKETS` geometry) plus a
-    top-K list of the slowest exchanges with their trace ids, so a
-    million-exchange campaign folds into ``GroupSummary`` without any
-    shard ever shipping full traces.  ``merge`` is associative and
-    commutative over everything except top-K tie order, which is made
-    deterministic by the (latency desc, trace_id asc) sort.
+    The streaming reducer's unit of numeric telemetry: count / sum /
+    min / max plus fixed-size bucket counts over the shared
+    :data:`SKETCH_BUCKETS` geometry.  A million-run campaign folds any
+    per-run scalar (detection latency, MP duration) into a handful of
+    integers, so peak aggregator memory is independent of run count.
+    ``merge`` is associative and commutative, which is what lets
+    per-shard partial summaries reduce in any arrival order.
     """
 
-    __slots__ = ("count", "sum", "min", "max", "bucket_counts", "top")
+    __slots__ = ("count", "sum", "min", "max", "bucket_counts")
 
     def __init__(self) -> None:
         self.count = 0
@@ -63,33 +63,23 @@ class ExchangeSketch:
         self.min = float("inf")
         self.max = float("-inf")
         self.bucket_counts = [0] * (len(SKETCH_BUCKETS) + 1)
-        #: [(latency, trace_id, label), ...] slowest-first, <= TOP_K
-        self.top: List[List[Any]] = []
 
-    def observe(self, latency: float, trace_id: str = "",
-                label: str = "") -> None:
-        latency = float(latency)
+    def observe(self, value: float) -> None:
+        value = float(value)
         index = len(SKETCH_BUCKETS)
         for i, bound in enumerate(SKETCH_BUCKETS):
-            if latency <= bound:
+            if value <= bound:
                 index = i
                 break
         self.bucket_counts[index] += 1
         self.count += 1
-        self.sum += latency
-        if latency < self.min:
-            self.min = latency
-        if latency > self.max:
-            self.max = latency
-        # repro: allow[perf-unbounded-queue] -- _trim() caps at TOP_K
-        self.top.append([latency, trace_id, label])
-        self._trim()
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
 
-    def _trim(self) -> None:
-        self.top.sort(key=lambda row: (-row[0], row[1], row[2]))
-        del self.top[SKETCH_TOP_K:]
-
-    def merge(self, other: "ExchangeSketch") -> "ExchangeSketch":
+    def merge(self, other: "ValueSketch") -> "ValueSketch":
         self.count += other.count
         self.sum += other.sum
         if other.count:
@@ -99,9 +89,6 @@ class ExchangeSketch:
                 self.max = other.max
         for i, bucket in enumerate(other.bucket_counts):
             self.bucket_counts[i] += bucket
-        # repro: allow[perf-unbounded-queue] -- _trim() caps at TOP_K
-        self.top.extend(list(row) for row in other.top)
-        self._trim()
         return self
 
     @property
@@ -130,14 +117,10 @@ class ExchangeSketch:
             "min": round(self.min, 9) if self.count else 0.0,
             "max": round(self.max, 9) if self.count else 0.0,
             "buckets": list(self.bucket_counts),
-            "top": [
-                [round(latency, 9), trace_id, label]
-                for latency, trace_id, label in self.top
-            ],
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "ExchangeSketch":
+    def from_dict(cls, data: Dict[str, Any]) -> "ValueSketch":
         sketch = cls()
         sketch.count = int(data.get("count", 0))
         sketch.sum = float(data.get("sum", 0.0))
@@ -147,6 +130,57 @@ class ExchangeSketch:
         buckets = data.get("buckets") or []
         if len(buckets) == len(sketch.bucket_counts):
             sketch.bucket_counts = [int(b) for b in buckets]
+        return sketch
+
+
+class ExchangeSketch(ValueSketch):
+    """Mergeable bounded-memory summary of per-exchange latencies.
+
+    A :class:`ValueSketch` that additionally remembers a top-K list of
+    the slowest exchanges with their trace ids, so a million-exchange
+    campaign folds into ``GroupSummary`` without any shard ever
+    shipping full traces.  ``merge`` is associative and commutative
+    over everything except top-K tie order, which is made
+    deterministic by the (latency desc, trace_id asc) sort.
+    """
+
+    __slots__ = ("top",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: [(latency, trace_id, label), ...] slowest-first, <= TOP_K
+        self.top: List[List[Any]] = []
+
+    def observe(self, latency: float, trace_id: str = "",
+                label: str = "") -> None:
+        super().observe(latency)
+        # repro: allow[perf-unbounded-queue] -- _trim() caps at TOP_K
+        self.top.append([float(latency), trace_id, label])
+        self._trim()
+
+    def _trim(self) -> None:
+        self.top.sort(key=lambda row: (-row[0], row[1], row[2]))
+        del self.top[SKETCH_TOP_K:]
+
+    def merge(self, other: "ValueSketch") -> "ExchangeSketch":
+        super().merge(other)
+        if isinstance(other, ExchangeSketch):
+            # repro: allow[perf-unbounded-queue] -- _trim() caps at TOP_K
+            self.top.extend(list(row) for row in other.top)
+            self._trim()
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data["top"] = [
+            [round(latency, 9), trace_id, label]
+            for latency, trace_id, label in self.top
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExchangeSketch":
+        sketch = super().from_dict(data)
         sketch.top = [
             [float(row[0]), str(row[1]), str(row[2])]
             for row in (data.get("top") or [])

@@ -225,13 +225,14 @@ def _run_report(args: argparse.Namespace) -> str:
 def _run_timeline(args: argparse.Namespace) -> str:
     import dataclasses
 
-    from repro.vserver.service import ServiceConfig, build_service_scenario
+    from repro.scenario import Scenario
+    from repro.vserver.service import ServiceConfig
 
     config = ServiceConfig.parse(args.service)
     if args.batch:
         config = dataclasses.replace(config, batch=args.batch == "on")
     obs = Observability.enabled()
-    scenario = build_service_scenario(config, obs=obs)
+    scenario = Scenario.build(service=config, obs=obs)
     scenario.sim.run(until=config.horizon)
     lines = causal_timeline(obs.spans)
     body = "\n".join(lines) + ("\n" if lines else "")

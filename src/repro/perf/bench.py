@@ -280,6 +280,84 @@ def bench_fleet_incremental(
     }
 
 
+def bench_fleet_stream(
+    quick: bool, workdir: Path
+) -> Dict[str, Dict[str, Any]]:
+    """Streaming reduce throughput: checkpointed shards through the
+    pipeline's k-way merge and :class:`StreamingAggregator` fold.
+
+    Synthetic results keep the bench about the reduce path (file
+    reads, run_id merge, per-group folds, incremental JSONL write)
+    rather than the simulator; peak traced memory rides along as the
+    bounded-memory evidence the pipeline exists to provide.
+    """
+    import tracemalloc
+
+    from repro import fleet
+    from repro.fleet.pipeline import _merged_stream, _reduce_stream
+
+    campaign = fleet.canned_campaign("qoa", seed_count=1)
+    count = 2_000 if quick else 10_000
+    shard_size = 256
+    specs = [
+        fleet.RunSpec(
+            mechanism="smart", campaign=campaign.name, seed=index
+        )
+        for index in range(count)
+    ]
+    out_dir = workdir / "bench-stream"
+    store = fleet.ShardCheckpointStore(
+        out_dir, campaign.name, campaign.spec_hash, specs, shard_size,
+        "bench",
+    )
+    store.open()
+    shards = fleet.make_shards(specs, shard_size)
+    for shard in shards:
+        store.write_shard(
+            shard.index,
+            [
+                fleet.RunResult(
+                    run_id=spec.run_id,
+                    spec=spec.to_dict(),
+                    detected=spec.seed % 2 == 0,
+                    detection_latency=(
+                        float(spec.seed % 7) if spec.seed % 2 == 0
+                        else None
+                    ),
+                    mp_duration=0.25,
+                    measurements=1,
+                    qoa={"miss_rate": (spec.seed % 5) / 10.0},
+                )
+                for spec in shard.specs
+            ],
+        )
+    paths = fleet.artifact_paths(out_dir, campaign.name)
+    paths.root.mkdir(parents=True, exist_ok=True)
+    indices = [shard.index for shard in shards]
+
+    def work() -> None:
+        _reduce_stream(_merged_stream(store, indices), paths, campaign)
+
+    best = _best_of(work, repeats=3)
+    tracemalloc.start()
+    try:
+        work()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {
+        "fleet.stream": {
+            "results_per_sec": count / best,
+            "ms_total": best * 1e3,
+            "peak_kib": peak / 1024.0,
+            "runs": count,
+            "shards": len(shards),
+            "primary": "results_per_sec",
+            "direction": "higher",
+        }
+    }
+
+
 def bench_verifier_batch(quick: bool) -> Dict[str, Dict[str, Any]]:
     """Micro: :meth:`Verifier.verify_batch` vs a serial loop over one
     epoch's worth of overlapping reports.
@@ -352,15 +430,16 @@ def bench_verifier_storm(quick: bool) -> Dict[str, Dict[str, Any]]:
     import dataclasses
 
     from repro.fleet.clock import perf_time as clock
-    from repro.vserver.service import build_service_scenario, service_preset
+    from repro.scenario import Scenario
+    from repro.vserver.service import service_preset
 
     config = service_preset("storm1k")
     if quick:
         config = dataclasses.replace(config, blocks=48)
 
     def run(batch: bool) -> Any:
-        scenario = build_service_scenario(
-            dataclasses.replace(config, batch=batch)
+        scenario = Scenario.build(
+            service=dataclasses.replace(config, batch=batch)
         )
         scenario.server.verify_wall_clock = clock
         stats = scenario.run()
@@ -452,13 +531,14 @@ def bench_obs_overhead(quick: bool) -> Dict[str, Dict[str, Any]]:
     creeping regression even while it stays under the pin.
     """
     from repro.obs.core import NULL_OBS, Observability
-    from repro.vserver.service import build_service_scenario, service_preset
+    from repro.scenario import Scenario
+    from repro.vserver.service import service_preset
 
     config = service_preset("smoke")
 
     def run(traced: bool) -> None:
         obs = Observability.enabled() if traced else NULL_OBS
-        build_service_scenario(config, obs=obs).run()
+        Scenario.build(service=config, obs=obs).run()
 
     # One smoke run is ~15ms -- scheduler noise swamps a single-run
     # delta -- so each sample batches ``loops`` runs of one mode and
@@ -576,6 +656,7 @@ def run_suite(quick: bool = False, workdir: Optional[Any] = None) -> Dict[str, A
     benches.update(bench_trace_serialize(quick, workdir))
     benches.update(bench_erasmus_cache(quick))
     benches.update(bench_fleet_incremental(quick, workdir))
+    benches.update(bench_fleet_stream(quick, workdir))
     benches.update(bench_verifier_batch(quick))
     benches.update(bench_verifier_storm(quick))
     benches.update(bench_obs_overhead(quick))

@@ -126,17 +126,24 @@ class Scenario:
         obs: Optional[Any] = None,
         **overrides: Any,
     ) -> Any:
-        """Wire a served-verifier scenario (the ``vserver`` stack).
+        """Back-compat alias for ``build(service=...)``.
 
-        The service counterpart of :meth:`build`: ``config`` is a
-        :class:`~repro.vserver.service.ServiceConfig`, a preset name /
-        DSL string (``"smoke"``, ``"preset=storm1k;batch=off"``), or
-        ``None`` for the ``smoke`` preset; keyword ``overrides``
-        replace individual fields.  Returns a
-        :class:`~repro.vserver.service.ServiceScenario` -- a
-        population-scale scenario has no single device/channel, so it
-        is its own bundle rather than a :class:`Scenario`.
+        Kept thin so existing callers keep working; new code should
+        call :meth:`build` with the ``service=`` parameter.
         """
+        return cls.build(
+            service=config if config is not None else "smoke",
+            obs=obs,
+            service_options=overrides or None,
+        )
+
+    @classmethod
+    def _build_service(
+        cls,
+        service: Any,
+        obs: Optional[Any],
+        overrides: Dict[str, Any],
+    ) -> Any:
         import dataclasses as _dataclasses
 
         from repro.vserver.service import (
@@ -144,16 +151,16 @@ class Scenario:
             build_service_scenario,
         )
 
-        if config is None:
+        if service is True:
             built = ServiceConfig.parse("smoke")
-        elif isinstance(config, str):
-            built = ServiceConfig.parse(config)
-        elif isinstance(config, ServiceConfig):
-            built = config
+        elif isinstance(service, str):
+            built = ServiceConfig.parse(service)
+        elif isinstance(service, ServiceConfig):
+            built = service
         else:
             raise ConfigurationError(
-                "config must be a ServiceConfig, preset/DSL string, "
-                "or None"
+                "service must be a ServiceConfig, preset/DSL string, "
+                "or True for the smoke preset"
             )
         if overrides:
             built = _dataclasses.replace(built, **overrides)
@@ -185,7 +192,9 @@ class Scenario:
         seed_options: Optional[Dict[str, Any]] = None,
         workload_options: Optional[Dict[str, Any]] = None,
         digest_cache: Any = None,
-    ) -> "Scenario":
+        service: Optional[Any] = None,
+        service_options: Optional[Dict[str, Any]] = None,
+    ) -> Any:
         """Wire one complete scenario; see the module docstring for the
         canonical order.  ``faults`` accepts a :class:`FaultPlan` or the
         DSL string form; ``mechanism`` is any ``standard_mechanisms()``
@@ -194,7 +203,51 @@ class Scenario:
         default-sized one, or ``None``/``False`` (the default) for the
         seed-identical uncached path; sim-time is identical either way
         (docs/performance.md).
+
+        ``service`` switches to the population-scale served-verifier
+        stack (the ``vserver`` layer): pass a
+        :class:`~repro.vserver.service.ServiceConfig`, a preset/DSL
+        string (``"smoke"``, ``"preset=storm1k;batch=off"``), or
+        ``True`` for the smoke preset, plus ``service_options`` to
+        replace individual config fields.  That form returns a
+        :class:`~repro.vserver.service.ServiceScenario` (a population
+        has no single device/channel), accepts only ``obs=`` from the
+        single-device parameter set, and rejects the rest.
         """
+        if service is not None:
+            single_device_args = {
+                "mechanism": mechanism != "smart",
+                "malware": malware != "none",
+                "faults": faults is not None,
+                "workload": workload is not None,
+                "config": config is not None,
+                "seed": seed != 7,
+                "retry": retry is not None,
+                "outcomes": outcomes is not None,
+                "sim": sim is not None,
+                "trace": trace is not None,
+                "network": network is not True,
+                "latency": latency != 0.002,
+                "layout": layout != "standard",
+                "code_fraction": code_fraction != 0.5,
+                "measurement_config": measurement_config is not None,
+                "signing": signing is not None,
+                "fault_seed": fault_seed is not None,
+                "malware_options": malware_options is not None,
+                "seed_options": seed_options is not None,
+                "workload_options": workload_options is not None,
+                "digest_cache": digest_cache not in (None, False),
+            }
+            passed = sorted(k for k, v in single_device_args.items() if v)
+            if passed:
+                raise ConfigurationError(
+                    "service= builds the population-scale vserver stack "
+                    "and takes only obs=/service_options=; incompatible "
+                    f"argument(s): {', '.join(passed)}"
+                )
+            return cls._build_service(service, obs, service_options or {})
+        if service_options:
+            raise ConfigurationError("service_options= requires service=")
         config = config or ScenarioConfig()
         setups = standard_mechanisms()
         if mechanism not in setups and mechanism not in EXTRA_MECHANISMS:

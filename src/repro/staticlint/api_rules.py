@@ -1,0 +1,64 @@
+"""API-migration rules.
+
+Deprecated surfaces are removed in two steps: the old names first
+survive as warning shims, then disappear once every caller is
+migrated.  The shims make the transition safe but also make backslides
+silent -- a new call site only warns once at runtime, and only on paths
+a test actually exercises.  These rules close that gap statically:
+referencing a shim anywhere outside its defining module is a lint
+finding, so the migration ratchet cannot slip.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.staticlint.engine import ModuleContext
+from repro.staticlint.findings import Finding, Severity
+from repro.staticlint.registry import get_rule, rule
+
+#: the pre-``enroll`` Verifier registry trio (kept as warning shims)
+DEPRECATED_REGISTER_METHODS = (
+    "register_device",
+    "register_from_device",
+    "register_signing_identity",
+)
+
+
+@rule(
+    id="api-deprecated-register",
+    family="api",
+    severity=Severity.ERROR,
+    summary="call to a deprecated Verifier.register* shim",
+    rationale=(
+        "Verifier.register_device / register_from_device / "
+        "register_signing_identity were collapsed into "
+        "Verifier.enroll(device, signing=...); the old names survive "
+        "only as DeprecationWarning shims scheduled for removal, and a "
+        "new call site would warn once at runtime instead of failing "
+        "review."
+    ),
+    hint=(
+        "call Verifier.enroll(device) (pass signing=... to attach a "
+        "signing identity, or name plus key=/reference= to enroll "
+        "without a device object)"
+    ),
+)
+def check_deprecated_register(ctx: ModuleContext) -> Iterable[Finding]:
+    if ctx.in_scope(ctx.config.deprecated_api_allowlist):
+        return
+    this = get_rule("api-deprecated-register")
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in DEPRECATED_REGISTER_METHODS
+        ):
+            yield this.finding(
+                ctx, node,
+                f".{func.attr}() is a deprecated shim for "
+                "Verifier.enroll()",
+            )

@@ -15,7 +15,6 @@ from typing import List
 from repro.vserver.service import (
     SERVICE_PRESETS,
     ServiceConfig,
-    build_service_scenario,
     service_preset,
 )
 
@@ -82,8 +81,10 @@ def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
 
 def run_serve(args: argparse.Namespace) -> str:
     """Build, run, and summarize one served-verifier scenario."""
+    from repro.scenario import Scenario
+
     config = _config_from_args(args)
-    scenario = build_service_scenario(config)
+    scenario = Scenario.build(service=config)
     if args.timing:
         from repro.fleet.clock import perf_time
 

@@ -5,9 +5,12 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.fleet import (
     CANNED_CAMPAIGNS,
+    DEVICE_CLASSES,
     CampaignSpec,
+    Cohort,
     RunSpec,
     canned_campaign,
+    hetero_fleet_campaign,
     qoa_fleet_campaign,
 )
 
@@ -111,6 +114,87 @@ class TestPlanner:
         assert [s.run_id for s in clone.plan()] == [
             s.run_id for s in campaign.plan()
         ]
+
+
+def cohort_campaign() -> CampaignSpec:
+    return CampaignSpec(
+        name="hetero-unit",
+        base={"adversary": "transient", "horizon": 10.0},
+        cohorts=[
+            Cohort(
+                name="sensors",
+                base={"device_class": "sensor", "mechanism": "erasmus"},
+                axes={"firmware": ["fw-1.0", "fw-1.1"]},
+            ),
+            Cohort(
+                name="gateways",
+                base={"device_class": "gateway", "mechanism": "smart"},
+                seeds=[3, 4],
+            ),
+        ],
+        seeds=[7],
+    )
+
+
+class TestHeterogeneousPlanning:
+    def test_device_class_presets_applied(self):
+        specs = cohort_campaign().plan()
+        sensors = [s for s in specs if s.cohort == "sensors"]
+        gateways = [s for s in specs if s.cohort == "gateways"]
+        assert sensors and gateways
+        for spec in sensors:
+            assert spec.block_count == DEVICE_CLASSES["sensor"]["block_count"]
+        for spec in gateways:
+            assert spec.block_count == DEVICE_CLASSES["gateway"]["block_count"]
+
+    def test_cohort_axes_and_seeds(self):
+        specs = cohort_campaign().plan()
+        sensors = [s for s in specs if s.cohort == "sensors"]
+        gateways = [s for s in specs if s.cohort == "gateways"]
+        # sensors: 2 firmware values x campaign seed [7]
+        assert sorted(s.firmware for s in sensors) == ["fw-1.0", "fw-1.1"]
+        assert {s.seed for s in sensors} == {7}
+        # gateways: cohort seeds override the campaign's
+        assert {s.seed for s in gateways} == {3, 4}
+
+    def test_cohort_round_trip_preserves_plan(self):
+        campaign = cohort_campaign()
+        clone = CampaignSpec.from_dict(campaign.to_dict())
+        assert clone.spec_hash == campaign.spec_hash
+        assert [s.run_id for s in clone.plan()] == [
+            s.run_id for s in campaign.plan()
+        ]
+
+    def test_firmware_distinguishes_run_ids(self):
+        a = RunSpec(mechanism="smart", seed=1, firmware="fw-1.0")
+        b = RunSpec(mechanism="smart", seed=1, firmware="fw-1.1")
+        assert a.run_id != b.run_id
+
+    def test_unknown_device_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(mechanism="smart", device_class="toaster")
+
+    def test_duplicate_cohort_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(
+                name="bad",
+                cohorts=[Cohort(name="a"), Cohort(name="a")],
+            )
+
+    def test_flat_spec_hash_unchanged_by_cohort_support(self):
+        # to_dict only grows a "cohorts" key when cohorts exist, so
+        # pre-cohort campaign hashes (and golden artifacts keyed on
+        # them) are untouched
+        campaign = small_campaign()
+        assert "cohorts" not in campaign.to_dict()
+
+    def test_hetero_canned_campaign_plans(self):
+        campaign = hetero_fleet_campaign()
+        specs = campaign.plan()
+        assert campaign.run_count == len(specs) > 0
+        assert {s.cohort for s in specs} == {
+            "sensors", "actuators", "gateways"
+        }
 
 
 class TestCannedCampaigns:

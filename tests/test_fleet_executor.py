@@ -157,6 +157,47 @@ class TestFailurePaths:
         assert result.status == "timeout"
         assert result.attempts == 1
 
+    def test_deadline_degrades_off_main_thread(self):
+        # backends may run shards from worker threads, where SIGALRM
+        # cannot be armed; the run must complete without a budget
+        # instead of crashing
+        import threading
+
+        holder = {}
+
+        def worker():
+            holder["result"] = run_one(fast_spec(timeout=30.0))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert holder["result"].ok
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+    )
+    def test_deadline_degrades_when_handler_refused(self, monkeypatch):
+        # embedded interpreters can refuse signal handlers even on the
+        # main thread; the deadline must degrade to a no-op
+        def refuse(signum, handler):
+            raise ValueError("signal only works in main thread")
+
+        monkeypatch.setattr(signal, "signal", refuse)
+        result = run_one(fast_spec(timeout=30.0))
+        assert result.ok
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM"), reason="needs SIGALRM"
+    )
+    def test_deadline_degrades_when_timer_refused(self, monkeypatch):
+        def refuse(which, seconds):
+            raise OSError("no interval timers here")
+
+        monkeypatch.setattr(signal, "setitimer", refuse)
+        result = run_one(fast_spec(timeout=30.0))
+        assert result.ok
+
     def test_campaign_isolates_bad_runs(self):
         specs = [
             fast_spec(),

@@ -154,7 +154,14 @@ class TestSummarize:
         cell = summary.group("smart", "transient")
         assert cell.runs == 3
         assert cell.detection_rate == pytest.approx(2 / 3)
-        assert cell.latency_percentiles()["p50"] == pytest.approx(3.0)
+        # latencies fold into a bounded ValueSketch: 2.0 and 4.0 land
+        # in the same (1.0, 5.0] bucket, so the bucket-resolution p50
+        # reports the bucket bound clamped to the observed max
+        assert cell.latency_percentiles()["p50"] == pytest.approx(4.0)
+        assert cell.detection_latency.count == 2
+        assert cell.detection_latency.mean == pytest.approx(3.0)
+        assert cell.detection_latency.min == pytest.approx(2.0)
+        assert cell.detection_latency.max == pytest.approx(4.0)
         assert summary.group("smart", "none").detected == 0
         assert summary.total_runs == 4
 

@@ -55,6 +55,9 @@ class TestSelfScan:
             if f.suppressed
         )
         assert suppressed == [
+            # cohort list on CampaignSpec: grows with the declared
+            # spec (a handful of cohorts), never per-run.
+            ("campaign.py", "perf-unbounded-queue"),
             # one-shot benign-reference build at analyzer construction;
             # never on a traversal hot path.
             ("consistency.py", "perf-uncached-digest"),

@@ -346,6 +346,24 @@ class TestBuildService:
         scenario = Scenario.build_service(config)
         assert scenario.config.provers == 10
 
+    def test_unified_build_service_parameter(self):
+        # the collapsed entrypoint: build(service=...) returns the
+        # population-scale ServiceScenario
+        scenario = Scenario.build(
+            service="smoke", service_options={"provers": 12}
+        )
+        assert scenario.config.provers == 12
+        smoke = Scenario.build(service=True)
+        assert smoke.config == ServiceConfig.parse("smoke")
+
+    def test_unified_build_rejects_single_device_args(self):
+        with pytest.raises(ConfigurationError) as err:
+            Scenario.build(mechanism="smart", malware="transient",
+                           service="smoke")
+        assert "malware" in str(err.value)
+        with pytest.raises(ConfigurationError):
+            Scenario.build(service_options={"provers": 12})
+
 
 class TestFleetIntegration:
     def test_vserver_runspec_validates_service_dsl(self):
