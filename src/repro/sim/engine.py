@@ -28,6 +28,11 @@ class EventHandle:
 
     Returned by :meth:`Simulator.schedule`.  Cancelling is O(1): the
     entry stays in the heap but is skipped when popped.
+
+    The heap itself stores ``(time, seq, handle)`` tuples so sift
+    comparisons run as C-level tuple compares (``seq`` is unique, so
+    the handle is never compared); ``__lt__`` is kept for callers that
+    order handles directly.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
@@ -77,7 +82,8 @@ class Simulator:
 
     def __init__(self, obs: Optional[Any] = None) -> None:
         self.now: float = 0.0
-        self._queue: List[EventHandle] = []
+        #: heap of (time, seq, EventHandle) -- see EventHandle docstring
+        self._queue: List[tuple] = []
         self._seq: int = 0
         self._running: bool = False
         self._stopped: bool = False
@@ -103,6 +109,10 @@ class Simulator:
             self._m_cancelled = None
         profiler = self.obs.profiler
         self._profiler = profiler if profiler.enabled else None
+        # Uninstrumented engines (the default) dispatch through a
+        # specialized inner loop in run() with no per-event counter or
+        # profiler checks; both flags are fixed at construction.
+        self._plain = self._m_fired is None and self._profiler is None
 
     # -- scheduling ---------------------------------------------------
 
@@ -112,7 +122,14 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay!r}")
-        return self.schedule_at(self.now + delay, callback, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        heapq.heappush(self._queue, (time, seq, handle))
+        if self._m_scheduled is not None:
+            self._m_scheduled.inc()
+        return handle
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -122,9 +139,10 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule at {time!r}, before current time {self.now!r}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        heapq.heappush(self._queue, (time, seq, handle))
         if self._m_scheduled is not None:
             self._m_scheduled.inc()
         return handle
@@ -134,7 +152,7 @@ class Simulator:
     def step(self) -> bool:
         """Run the next pending event.  Return ``False`` if none remain."""
         while self._queue:
-            handle = heapq.heappop(self._queue)
+            handle = heapq.heappop(self._queue)[2]
             if handle.cancelled:
                 if self._m_cancelled is not None:
                     self._m_cancelled.inc()
@@ -177,18 +195,51 @@ class Simulator:
         self._stopped = False
         self._until = until
         queue = self._queue
+        pop = heapq.heappop
         try:
+            # Specialized dispatch loops for the uninstrumented engine
+            # (no metrics, no profiler -- the default): pop, advance,
+            # fire, with zero per-event branching on observability.
+            # Identical event order and stop()/until semantics to the
+            # instrumented loop below.
+            if self._plain:
+                if until is None:
+                    while queue:
+                        time, _seq, head = pop(queue)
+                        if head.cancelled:
+                            continue
+                        self.now = time
+                        head.callback(*head.args)
+                        if self._stopped:
+                            break
+                    return self.now
+                while queue:
+                    entry = queue[0]
+                    if entry[0] > until:
+                        self.now = until
+                        return self.now
+                    pop(queue)
+                    head = entry[2]
+                    if head.cancelled:
+                        continue
+                    self.now = entry[0]
+                    head.callback(*head.args)
+                    if self._stopped:
+                        break
+                if self.now < until:
+                    self.now = until
+                return self.now
             while queue and not self._stopped:
-                head = queue[0]
+                head = queue[0][2]
                 if head.cancelled:
-                    heapq.heappop(queue)
+                    pop(queue)
                     if self._m_cancelled is not None:
                         self._m_cancelled.inc()
                     continue
                 if until is not None and head.time > until:
                     self.now = until
                     return self.now
-                heapq.heappop(queue)
+                pop(queue)
                 if self._profiler is not None:
                     self._fire_profiled(head)
                 else:
@@ -205,10 +256,10 @@ class Simulator:
                 while (
                     queue
                     and not self._stopped
-                    and queue[0].time == when
+                    and queue[0][0] == when
                     and self.now == when
                 ):
-                    nxt = heapq.heappop(queue)
+                    nxt = pop(queue)[2]
                     if nxt.cancelled:
                         if self._m_cancelled is not None:
                             self._m_cancelled.inc()
@@ -280,7 +331,7 @@ class Simulator:
         """The earliest live event, lazily discarding cancelled heads."""
         queue = self._queue
         while queue:
-            head = queue[0]
+            head = queue[0][2]
             if not head.cancelled:
                 return head
             heapq.heappop(queue)
@@ -290,7 +341,9 @@ class Simulator:
 
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        return sum(
+            1 for _, _, handle in self._queue if not handle.cancelled
+        )
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""

@@ -14,6 +14,8 @@ from repro.perf import bench
 from repro.perf.bench import (
     BENCH_VERSION,
     bench_digest_cache,
+    bench_engine_dispatch,
+    bench_memory_fill,
     bench_trace_serialize,
     compare,
     git_revision,
@@ -21,6 +23,7 @@ from repro.perf.bench import (
     render_comparison,
     render_history,
     run_bench,
+    timing_stats,
 )
 
 
@@ -106,6 +109,80 @@ class TestCompare:
         assert "a" in text and "b" in text
 
 
+class TestGateThresholds:
+    """Noise-aware per-bench thresholds: the effective threshold is
+    the widest of the CLI value and the bench's declared gate."""
+
+    def wide_bench(self, value, gate=1.0):
+        payload = one_bench(value)
+        payload["gate_threshold"] = gate
+        return payload
+
+    def test_declared_gate_widens_the_cli_threshold(self):
+        # 0.6x would regress at the CLI's 20%, but the bench declares
+        # an absolute-throughput gate that only fails on a collapse
+        rows = compare(
+            artifact({"b": self.wide_bench(60.0)}),
+            artifact({"b": self.wide_bench(100.0)}),
+            threshold=0.20,
+        )
+        assert rows[0]["threshold"] == 1.0
+        assert not rows[0]["regressed"]
+
+    def test_collapse_fails_even_the_wide_gate(self):
+        rows = compare(
+            artifact({"b": self.wide_bench(40.0)}),
+            artifact({"b": self.wide_bench(100.0)}),
+            threshold=0.20,
+        )
+        assert rows[0]["regressed"]
+
+    def test_cli_threshold_wins_when_wider(self):
+        rows = compare(
+            artifact({"b": self.wide_bench(60.0, gate=0.1)}),
+            artifact({"b": self.wide_bench(100.0, gate=0.1)}),
+            threshold=0.20,
+        )
+        assert rows[0]["threshold"] == pytest.approx(0.20)
+        assert rows[0]["regressed"]
+
+    def test_gate_falls_back_to_baseline_declaration(self):
+        # older current artifacts may predate a bench's gate; the
+        # baseline's declaration still applies
+        rows = compare(
+            artifact({"b": one_bench(60.0)}),
+            artifact({"b": self.wide_bench(100.0)}),
+            threshold=0.20,
+        )
+        assert rows[0]["threshold"] == 1.0
+        assert not rows[0]["regressed"]
+
+    def test_render_shows_gate_column(self):
+        rows = compare(
+            artifact({"b": self.wide_bench(60.0)}),
+            artifact({"b": self.wide_bench(100.0)}),
+        )
+        assert "100%" in render_comparison(rows)
+
+
+class TestTimingStats:
+    def test_median_odd(self):
+        stats = timing_stats([0.003, 0.001, 0.002])
+        assert stats["median_ms"] == pytest.approx(2.0)
+        assert stats["repeats"] == 3
+
+    def test_median_even_and_spread(self):
+        stats = timing_stats([0.001, 0.002, 0.004, 0.003])
+        assert stats["median_ms"] == pytest.approx(2.5)
+        # (max - min) / median = 0.003 / 0.0025
+        assert stats["spread_pct"] == pytest.approx(120.0)
+
+    def test_single_sample(self):
+        stats = timing_stats([0.005])
+        assert stats["median_ms"] == pytest.approx(5.0)
+        assert stats["spread_pct"] == 0.0
+
+
 class TestMicroBenches:
     def test_digest_cache_bench_shape(self):
         result = bench_digest_cache(quick=True)
@@ -118,6 +195,23 @@ class TestMicroBenches:
         (name, payload), = result.items()
         assert payload["direction"] == "higher"
         assert payload[payload["primary"]] > 0
+
+    def test_engine_dispatch_bench_shape(self):
+        result = bench_engine_dispatch(quick=True)
+        (name, payload), = result.items()
+        assert name == "engine.dispatch_noobs"
+        assert payload[payload["primary"]] > 0
+        assert payload["spread_pct"] >= 0.0
+        assert payload["gate_threshold"] == bench.GATE_ABSOLUTE
+
+    def test_memory_fill_bench_shape(self):
+        result = bench_memory_fill(quick=True)
+        (name, payload), = result.items()
+        assert name == "memory.fill"
+        # interned construction must beat per-byte regeneration
+        assert payload["speedup"] > 1.0
+        assert payload["median_ms"] > 0.0
+        assert payload["gate_threshold"] == bench.GATE_RATIO
 
     def test_git_revision_is_short_string(self):
         revision = git_revision()
